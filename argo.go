@@ -1,0 +1,216 @@
+// Package argo is a runtime system for scalable mini-batch GNN training
+// on multi-core processors — a from-scratch Go reproduction of
+//
+//	Lin et al., "ARGO: An Auto-Tuning Runtime System for Scalable GNN
+//	Training on Multi-Core Processor", IPDPS 2024 (arXiv:2402.03671).
+//
+// ARGO improves platform utilisation by running n synchronized training
+// processes whose memory-intensive phases overlap other processes'
+// compute phases, binding each process's sampling and training workers to
+// disjoint cores, and auto-tuning the (n, s, t) configuration online with
+// Bayesian optimization. Training semantics are preserved: the global
+// mini-batch is split n ways and gradients are averaged synchronously, so
+// the effective batch size never changes.
+//
+// Typical use mirrors the paper's Listing 1:
+//
+//	trainer, _ := argo.NewGNNTrainer(argo.GNNTrainerOptions{ ... })
+//	rt, _ := argo.New(argo.Options{NumSearches: 20, Epochs: 200})
+//	report, _ := rt.Run(trainer.Step)
+//
+// Run executes Algorithm 1 from the paper: for the first NumSearches
+// epochs the auto-tuner proposes a configuration, observes the epoch
+// time, and updates its surrogate model; the remaining epochs reuse the
+// best configuration found.
+package argo
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"argo/internal/bayesopt"
+	"argo/internal/core"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/platform"
+	"argo/internal/sampler"
+	"argo/internal/search"
+)
+
+// Config is one point of ARGO's design space: the number of GNN training
+// processes and the sampling/training cores bound to each.
+type Config = search.Config
+
+// Space is the discrete feasible configuration space.
+type Space = search.Space
+
+// DefaultSpace returns the paper-matched space bounds for a machine with
+// the given total core count.
+func DefaultSpace(totalCores int) Space { return search.DefaultSpace(totalCores) }
+
+// TrainStep runs `epochs` training epochs under cfg and returns the mean
+// epoch time in seconds. ARGO calls it once per epoch while tuning and
+// once for the whole tail of training afterwards. Implementations must
+// carry model state across calls (GNNTrainer does).
+type TrainStep func(cfg Config, epochs int) (secondsPerEpoch float64, err error)
+
+// Options configures a Runtime.
+type Options struct {
+	// NumSearches is the online-learning budget: how many epochs are
+	// spent evaluating auto-tuner proposals (paper Table VI uses 5–6 % of
+	// the space: 35/45 on 112 cores, 20/25 on 64).
+	NumSearches int
+	// Epochs is the total number of training epochs, tuning included.
+	Epochs int
+	// TotalCores bounds the configuration space. Defaults to
+	// runtime.NumCPU().
+	TotalCores int
+	// Seed drives the tuner's random probes.
+	Seed int64
+	// Logf, when set, receives one line per tuning step.
+	Logf func(format string, args ...any)
+}
+
+// EpochRecord is one entry of a Report's history.
+type EpochRecord struct {
+	Epoch   int
+	Config  Config
+	Seconds float64
+	// Phase is "search" while the auto-tuner is learning, then "reuse".
+	Phase string
+}
+
+// Report summarises a Run.
+type Report struct {
+	Best             Config
+	BestEpochSeconds float64
+	History          []EpochRecord
+	// TunerOverhead is the time spent fitting the surrogate model and
+	// maximising the acquisition function (paper §VI-D).
+	TunerOverhead time.Duration
+	// TotalSeconds is the end-to-end training time: every search epoch at
+	// its observed cost plus the reuse tail.
+	TotalSeconds float64
+}
+
+// Runtime drives auto-tuned training. Create one per training job.
+type Runtime struct {
+	opts  Options
+	space Space
+}
+
+// New validates opts and returns a Runtime.
+func New(opts Options) (*Runtime, error) {
+	if opts.Epochs < 1 {
+		return nil, fmt.Errorf("argo: Epochs must be ≥1, got %d", opts.Epochs)
+	}
+	if opts.NumSearches < 1 {
+		return nil, fmt.Errorf("argo: NumSearches must be ≥1, got %d", opts.NumSearches)
+	}
+	if opts.NumSearches > opts.Epochs {
+		return nil, fmt.Errorf("argo: NumSearches %d exceeds Epochs %d", opts.NumSearches, opts.Epochs)
+	}
+	if opts.TotalCores == 0 {
+		opts.TotalCores = runtime.NumCPU()
+	}
+	sp := search.DefaultSpace(opts.TotalCores)
+	if sp.Size() == 0 {
+		return nil, fmt.Errorf("argo: no feasible configuration on %d cores", opts.TotalCores)
+	}
+	return &Runtime{opts: opts, space: sp}, nil
+}
+
+// SpaceSize returns the number of feasible configurations.
+func (r *Runtime) SpaceSize() int { return r.space.Size() }
+
+// Run executes the paper's Algorithm 1 against the training function.
+func (r *Runtime) Run(train TrainStep) (Report, error) {
+	var rep Report
+	tuner := bayesopt.NewTuner(r.space, r.opts.NumSearches, r.opts.Seed)
+	epoch := 0
+	logf := r.opts.Logf
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		secs, err := train(cfg, 1)
+		if err != nil {
+			return rep, fmt.Errorf("argo: search epoch %d (%s): %w", epoch, cfg, err)
+		}
+		tuner.Observe(cfg, secs)
+		rep.History = append(rep.History, EpochRecord{Epoch: epoch, Config: cfg, Seconds: secs, Phase: "search"})
+		rep.TotalSeconds += secs
+		if logf != nil {
+			logf("argo: search %d/%d %s epoch=%.3fs", epoch+1, r.opts.NumSearches, cfg, secs)
+		}
+		epoch++
+	}
+	best, bestSecs := tuner.Best()
+	rep.Best, rep.BestEpochSeconds = best, bestSecs
+	rep.TunerOverhead = tuner.Overhead()
+	remaining := r.opts.Epochs - epoch
+	if remaining > 0 {
+		secs, err := train(best, remaining)
+		if err != nil {
+			return rep, fmt.Errorf("argo: reuse phase (%s): %w", best, err)
+		}
+		rep.BestEpochSeconds = secs
+		for i := 0; i < remaining; i++ {
+			rep.History = append(rep.History, EpochRecord{Epoch: epoch + i, Config: best, Seconds: secs, Phase: "reuse"})
+		}
+		rep.TotalSeconds += secs * float64(remaining)
+		if logf != nil {
+			logf("argo: reuse %s for %d epochs, epoch=%.3fs", best, remaining, secs)
+		}
+	}
+	return rep, nil
+}
+
+// GNNTrainerOptions configures a real GNN training job managed by ARGO.
+type GNNTrainerOptions struct {
+	Dataset   *graph.Dataset
+	Sampler   sampler.Sampler
+	Model     nn.ModelSpec
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// Binder supplies virtual cores; nil uses a generous default.
+	Binder *platform.Allocator
+}
+
+// GNNTrainer adapts the real multi-process training engine to the
+// TrainStep contract, carrying model weights across configuration
+// changes.
+type GNNTrainer struct {
+	inner *core.Trainer
+}
+
+// NewGNNTrainer builds a GNNTrainer.
+func NewGNNTrainer(opts GNNTrainerOptions) (*GNNTrainer, error) {
+	inner, err := core.NewTrainer(core.TrainerOptions{
+		Dataset:   opts.Dataset,
+		Sampler:   opts.Sampler,
+		Model:     opts.Model,
+		BatchSize: opts.BatchSize,
+		LR:        opts.LR,
+		Seed:      opts.Seed,
+		Binder:    opts.Binder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GNNTrainer{inner: inner}, nil
+}
+
+// Step implements TrainStep.
+func (t *GNNTrainer) Step(cfg Config, epochs int) (float64, error) {
+	return t.inner.Step(cfg, epochs)
+}
+
+// Evaluate returns validation accuracy under the current weights.
+func (t *GNNTrainer) Evaluate() (float64, error) { return t.inner.Evaluate() }
+
+// Epochs returns how many epochs have been trained.
+func (t *GNNTrainer) Epochs() int { return t.inner.Epoch() }
+
+// Close releases the trainer's core binding.
+func (t *GNNTrainer) Close() error { return t.inner.Close() }

@@ -1,0 +1,218 @@
+package argo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/platform"
+	"argo/internal/platsim"
+	"argo/internal/sampler"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Options{
+		{},
+		{Epochs: 10},
+		{Epochs: 10, NumSearches: 0},
+		{Epochs: 5, NumSearches: 10},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Fatalf("options %d must be rejected", i)
+		}
+	}
+	rt, err := New(Options{Epochs: 10, NumSearches: 3, TotalCores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.SpaceSize() != 563 {
+		t.Fatalf("SpaceSize = %d, want 563 for 64 cores", rt.SpaceSize())
+	}
+}
+
+// Run must implement Algorithm 1: NumSearches single-epoch probes, then a
+// single reuse call covering the remaining epochs with the best config.
+func TestRunFollowsAlgorithm1(t *testing.T) {
+	rt, err := New(Options{Epochs: 50, NumSearches: 8, TotalCores: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type call struct {
+		cfg    Config
+		epochs int
+	}
+	var calls []call
+	objective := func(cfg Config) float64 {
+		dn := float64(cfg.Procs - 4)
+		return 2 + 0.3*dn*dn + 0.1*float64(cfg.SampleCores) + 0.05*float64(cfg.TrainCores)
+	}
+	rep, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+		calls = append(calls, call{cfg, epochs})
+		return objective(cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 9 {
+		t.Fatalf("expected 8 search calls + 1 reuse call, got %d", len(calls))
+	}
+	for i := 0; i < 8; i++ {
+		if calls[i].epochs != 1 {
+			t.Fatalf("search call %d ran %d epochs", i, calls[i].epochs)
+		}
+	}
+	last := calls[8]
+	if last.epochs != 42 {
+		t.Fatalf("reuse call ran %d epochs, want 42", last.epochs)
+	}
+	if last.cfg != rep.Best {
+		t.Fatal("reuse call must use the best configuration")
+	}
+	// The reported best must be the minimum of the searched epochs.
+	for _, h := range rep.History[:8] {
+		if objective(rep.Best) > h.Seconds {
+			t.Fatalf("best %v slower than searched %v", rep.Best, h.Config)
+		}
+	}
+	if len(rep.History) != 50 {
+		t.Fatalf("history has %d records, want 50", len(rep.History))
+	}
+	if rep.History[7].Phase != "search" || rep.History[8].Phase != "reuse" {
+		t.Fatal("phases mislabelled")
+	}
+	wantTotal := 0.0
+	for _, h := range rep.History {
+		wantTotal += h.Seconds
+	}
+	if diff := rep.TotalSeconds - wantTotal; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("TotalSeconds %v != history sum %v", rep.TotalSeconds, wantTotal)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	rt, err := New(Options{Epochs: 10, NumSearches: 2, TotalCores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := rt.Run(func(Config, int) (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("search error not propagated: %v", err)
+	}
+	n := 0
+	if _, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+		n++
+		if epochs > 1 {
+			return 0, boom
+		}
+		return 1, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("reuse error not propagated: %v", err)
+	}
+}
+
+func TestRunLogs(t *testing.T) {
+	var lines []string
+	rt, err := New(Options{Epochs: 4, NumSearches: 2, TotalCores: 64, Logf: func(f string, a ...any) {
+		lines = append(lines, fmt.Sprintf(f, a...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(func(Config, int) (float64, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 log lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "reuse") {
+		t.Fatalf("final line should describe the reuse phase: %q", lines[2])
+	}
+}
+
+// End-to-end against the platform simulator: the runtime must find a
+// configuration within 90 % of the exhaustive optimum with a ~5 % budget —
+// the paper's headline auto-tuner claim, via the public API.
+func TestRunFindsNearOptimalOnSimulator(t *testing.T) {
+	ds, err := graph.Spec("ogbn-products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := platsim.Scenario{
+		Platform: platform.SapphireRapids2S,
+		Library:  platsim.DGL,
+		Sampler:  platsim.Neighbor,
+		Model:    platsim.SAGE,
+		Dataset:  ds,
+	}
+	obj := platsim.NewObjective(sc)
+	_, optimal := platsim.BestWithBudget(sc, 64)
+
+	rt, err := New(Options{Epochs: 200, NumSearches: 20, TotalCores: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+		return obj.Evaluate(cfg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quality := optimal / rep.BestEpochSeconds; quality < 0.9 {
+		t.Fatalf("tuner quality %.3f below 0.9 (found %.3fs, optimal %.3fs)", quality, rep.BestEpochSeconds, optimal)
+	}
+	if rep.TunerOverhead <= 0 {
+		t.Fatal("tuner overhead must be measured")
+	}
+}
+
+// End-to-end with the real training engine on a scaled dataset: ARGO must
+// run the full Listing-1 flow and leave a trained model behind.
+func TestRunWithRealGNNTrainer(t *testing.T) {
+	spec := graph.DatasetSpec{
+		Name: "api-test", ScaledNodes: 300, ScaledEdges: 2200,
+		ScaledF0: 12, ScaledHidden: 8, ScaledClasses: 4,
+		Homophily: 0.7, Exponent: 2.2, TrainFrac: 0.5,
+	}
+	ds, err := graph.Build(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := NewGNNTrainer(GNNTrainerOptions{
+		Dataset:   ds,
+		Sampler:   sampler.NewNeighbor(ds.Graph, []int{4, 4}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{12, 8, 4}, Seed: 2},
+		BatchSize: 50,
+		LR:        0.01,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trainer.Close()
+
+	rt, err := New(Options{Epochs: 10, NumSearches: 4, TotalCores: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(trainer.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainer.Epochs() != 10 {
+		t.Fatalf("trained %d epochs, want 10", trainer.Epochs())
+	}
+	if rep.Best.TotalCores() > 16 {
+		t.Fatalf("best config %v exceeds 16 cores", rep.Best)
+	}
+	acc, err := trainer.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.4 { // chance is 0.25 on 4 classes
+		t.Fatalf("post-training accuracy %.3f too low", acc)
+	}
+}

@@ -1,0 +1,71 @@
+// Command argo-sweep renders the epoch-time landscape of one setup over
+// the (processes × sampling-cores) plane at a fixed training-core count —
+// the data behind the paper's Fig. 7 heatmaps and Fig. 12 surface.
+//
+// Usage:
+//
+//	argo-sweep -lib dgl -platform icelake -sampler neighbor -model sage \
+//	           -dataset reddit -t 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"argo/internal/experiments"
+	"argo/internal/platform"
+	"argo/internal/platsim"
+)
+
+func main() {
+	lib := flag.String("lib", "dgl", "library profile: dgl or pyg")
+	plat := flag.String("platform", "icelake", "platform: icelake or spr")
+	samplerName := flag.String("sampler", "neighbor", "sampler: neighbor or shadow")
+	modelName := flag.String("model", "sage", "model: sage or gcn")
+	dataset := flag.String("dataset", "reddit", "dataset name")
+	trainCores := flag.Int("t", 6, "fixed training cores per process")
+	flag.Parse()
+
+	setup := experiments.Setup{Dataset: *dataset}
+	switch *lib {
+	case "dgl":
+		setup.Lib = platsim.DGL
+	case "pyg":
+		setup.Lib = platsim.PyG
+	default:
+		log.Fatalf("argo-sweep: unknown library %q", *lib)
+	}
+	switch *plat {
+	case "icelake":
+		setup.Plat = platform.IceLake4S
+	case "spr":
+		setup.Plat = platform.SapphireRapids2S
+	default:
+		log.Fatalf("argo-sweep: unknown platform %q", *plat)
+	}
+	switch *samplerName {
+	case "neighbor":
+		setup.Sampler = platsim.Neighbor
+	case "shadow":
+		setup.Sampler = platsim.Shadow
+	default:
+		log.Fatalf("argo-sweep: unknown sampler %q", *samplerName)
+	}
+	switch *modelName {
+	case "sage":
+		setup.Model = platsim.SAGE
+	case "gcn":
+		setup.Model = platsim.GCN
+	default:
+		log.Fatalf("argo-sweep: unknown model %q", *modelName)
+	}
+
+	hd, err := experiments.Heatmap(setup, *trainCores)
+	if err != nil {
+		log.Fatalf("argo-sweep: %v", err)
+	}
+	hd.Render(os.Stdout, fmt.Sprintf("epoch time (s): %s / %s / %s / %s",
+		setup.Lib.Name, setup.SamplerModel(), *dataset, setup.Plat.Name))
+}

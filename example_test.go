@@ -1,0 +1,65 @@
+package argo_test
+
+import (
+	"fmt"
+	"log"
+
+	"argo"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+)
+
+// ExampleRuntime_Run shows the paper's Listing-1 flow: wrap an existing
+// GNN training job in the ARGO runtime and let the online auto-tuner pick
+// the multi-process configuration. Seeds are fixed, so the output is
+// deterministic.
+func ExampleRuntime_Run() {
+	ds, err := graph.Build(graph.DatasetSpec{
+		Name: "example", ScaledNodes: 300, ScaledEdges: 2200,
+		ScaledF0: 12, ScaledHidden: 8, ScaledClasses: 4,
+		Homophily: 0.7, Exponent: 2.2, TrainFrac: 0.5,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := argo.NewGNNTrainer(argo.GNNTrainerOptions{
+		Dataset:   ds,
+		Sampler:   sampler.NewNeighbor(ds.Graph, []int{4, 4}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{12, 8, 4}, Seed: 3},
+		BatchSize: 50,
+		LR:        0.01,
+		Seed:      9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trainer.Close()
+
+	rt, err := argo.New(argo.Options{Epochs: 8, NumSearches: 3, TotalCores: 16, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := rt.Run(trainer.Step)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched %d configurations, trained %d epochs\n", 3, trainer.Epochs())
+	fmt.Printf("best configuration uses %d processes\n", report.Best.Procs)
+	// Output:
+	// searched 3 configurations, trained 8 epochs
+	// best configuration uses 1 processes
+}
+
+// ExampleDefaultSpace shows the configuration space the auto-tuner
+// explores on the paper's Ice Lake machine.
+func ExampleDefaultSpace() {
+	space := argo.DefaultSpace(112)
+	fmt.Printf("%d feasible configurations\n", space.Size())
+	fmt.Println(space.Feasible(argo.Config{Procs: 8, SampleCores: 4, TrainCores: 10}))
+	fmt.Println(space.Feasible(argo.Config{Procs: 8, SampleCores: 10, TrainCores: 10}))
+	// Output:
+	// 766 feasible configurations
+	// true
+	// false
+}

@@ -1,0 +1,77 @@
+// Autotune: watch ARGO's Bayesian-optimization auto-tuner navigate the
+// simulated 112-core Ice Lake design space for ShaDow-GCN on
+// ogbn-products, and compare it against exhaustive search and simulated
+// annealing on the same budget (the Table IV experiment, one cell).
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"argo/internal/anneal"
+	"argo/internal/bayesopt"
+	"argo/internal/graph"
+	"argo/internal/platform"
+	"argo/internal/platsim"
+	"argo/internal/search"
+)
+
+func main() {
+	ds, err := graph.Spec("ogbn-products")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := platsim.Scenario{
+		Platform: platform.IceLake4S,
+		Library:  platsim.DGL,
+		Sampler:  platsim.Shadow,
+		Model:    platsim.GCN,
+		Dataset:  ds,
+	}
+	space := search.DefaultSpace(112)
+	obj := platsim.NewObjective(sc)
+
+	const budget = 45 // Table VI: ShaDow on Ice Lake
+	fmt.Printf("design space: %d configurations; budget %d (%.0f%%)\n\n",
+		space.Size(), budget, 100*float64(budget)/float64(space.Size()))
+
+	// Exhaustive reference (the paper calls this intractable on hardware;
+	// the simulator makes it cheap).
+	exh := search.Exhaustive(space, obj)
+	fmt.Printf("exhaustive optimum: %s at %.2fs/epoch\n\n", exh.Best, exh.BestTime)
+
+	// The online auto-tuner, narrating each proposal.
+	tuner := bayesopt.NewTuner(space, budget, 7)
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		secs := obj.Evaluate(cfg)
+		tuner.Observe(cfg, secs)
+		if n := tuner.Observations(); n <= 10 || n%10 == 0 {
+			best, bestSecs := tuner.Best()
+			fmt.Printf("search %2d: tried %-15s %6.2fs   best so far %-15s %6.2fs\n",
+				n, cfg.String(), secs, best.String(), bestSecs)
+		}
+	}
+	bestCfg, bestSecs := tuner.Best()
+	fmt.Printf("\nauto-tuner found %s at %.2fs — %.0f%% of optimal, overhead %s\n",
+		bestCfg, bestSecs, 100*exh.BestTime/bestSecs, tuner.Overhead().Round(1000))
+
+	// Simulated annealing with the same budget, 5 runs.
+	var saBest []float64
+	for seed := int64(0); seed < 5; seed++ {
+		res := anneal.Run(space, obj, budget, rand.New(rand.NewSource(seed)), anneal.Options{})
+		saBest = append(saBest, res.BestTime)
+	}
+	fmt.Printf("simulated annealing (5 runs, same budget): best epoch times %v\n", fmtAll(saBest))
+}
+
+func fmtAll(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.2fs", x)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Convergence: demonstrate that ARGO's Multi-Process Engine preserves
+// training semantics (paper Fig. 9). Training with n processes on batch
+// shares of B/n plus synchronous gradient averaging follows the same
+// convergence curve as single-process training with batch B — this runs
+// the real Go training stack, not the simulator.
+//
+//	go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"argo/internal/engine"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+)
+
+func main() {
+	ds, err := graph.BuildByName("ogbn-products", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const epochs = 8
+	type curve struct {
+		label string
+		acc   []float64
+	}
+	var curves []curve
+	for _, n := range []int{1, 2, 4, 8} {
+		label := fmt.Sprintf("ARGO:%d", n)
+		if n == 1 {
+			label = "single "
+		}
+		e, err := engine.New(engine.Config{
+			Dataset:       ds,
+			Sampler:       sampler.NewNeighbor(ds.Graph, []int{15, 10, 5}),
+			Model:         nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Spec.ScaledF0, 32, 32, ds.NumClasses}, Seed: 21},
+			BatchSize:     64,
+			LR:            0.01,
+			NumProcs:      n,
+			SampleWorkers: 1,
+			TrainWorkers:  1,
+			Seed:          33,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := curve{label: label}
+		for ep := 0; ep < epochs; ep++ {
+			if _, err := e.RunEpoch(ep); err != nil {
+				log.Fatal(err)
+			}
+			c.acc = append(c.acc, e.Evaluate(ds.ValIdx))
+		}
+		curves = append(curves, c)
+	}
+
+	fmt.Println("validation accuracy by epoch (same effective batch size everywhere):")
+	fmt.Print("epoch  ")
+	for _, c := range curves {
+		fmt.Printf("%8s", c.label)
+	}
+	fmt.Println()
+	for ep := 0; ep < epochs; ep++ {
+		fmt.Printf("%5d  ", ep+1)
+		for _, c := range curves {
+			fmt.Printf("%8.3f", c.acc[ep])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe curves overlap: splitting the batch n ways with synchronous")
+	fmt.Println("gradient averaging does not alter the training algorithm.")
+}

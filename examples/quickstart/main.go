@@ -1,0 +1,58 @@
+// Quickstart: enable ARGO on an existing GNN training job with a few
+// lines — the Go rendition of the paper's Listing 1/Listing 3.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"argo"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+)
+
+func main() {
+	// 1. Load a dataset (a scaled synthetic stand-in for ogbn-products;
+	//    see DESIGN.md §2 for the substitution).
+	ds, err := graph.BuildByName("ogbn-products", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Describe the training job exactly as you would without ARGO: a
+	//    three-layer GraphSAGE model fed by a [15,10,5] neighbor sampler.
+	trainer, err := argo.NewGNNTrainer(argo.GNNTrainerOptions{
+		Dataset:   ds,
+		Sampler:   sampler.NewNeighbor(ds.Graph, []int{15, 10, 5}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Spec.ScaledF0, 32, 32, ds.NumClasses}, Seed: 1},
+		BatchSize: 128,
+		LR:        0.01,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trainer.Close()
+
+	// 3. Wrap it in the ARGO runtime: the auto-tuner spends the first
+	//    NumSearches epochs learning the best (processes, sampling cores,
+	//    training cores) configuration, then reuses it.
+	rt, err := argo.New(argo.Options{Epochs: 12, NumSearches: 4, TotalCores: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := rt.Run(trainer.Step)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	acc, err := trainer.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best config: %s (epoch %.3fs)\n", report.Best, report.BestEpochSeconds)
+	fmt.Printf("validation accuracy after %d epochs: %.3f\n", trainer.Epochs(), acc)
+}

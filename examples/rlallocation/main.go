@@ -1,0 +1,40 @@
+// RL allocation: the paper's §VII-C generalizability discussion made
+// concrete. ARGO's auto-tuner — completely unchanged — allocates CPU
+// cores to RL Actors and GPU streaming multiprocessors to the Learner on
+// a simulated heterogeneous platform, balancing experience production
+// against gradient-step consumption.
+//
+//	go run ./examples/rlallocation
+package main
+
+import (
+	"fmt"
+
+	"argo/internal/bayesopt"
+	"argo/internal/rlsim"
+	"argo/internal/search"
+)
+
+func main() {
+	obj := rlsim.NewObjective()
+	space := rlsim.Space(obj.Platform)
+	fmt.Printf("platform: %s (%d CPU cores, %d SMs)\n", obj.Platform.Name, obj.Platform.CPUCores, obj.Platform.TotalSMs)
+	fmt.Printf("objective: seconds per %.0g environment steps\n", obj.Workload.TargetSteps)
+	fmt.Printf("allocation space: %d configurations\n\n", space.Size())
+
+	exh := search.Exhaustive(space, obj)
+	fmt.Printf("exhaustive optimum: %d actor groups × %d cores, %d SM units → %.1fs\n\n",
+		exh.Best.Procs, exh.Best.SampleCores, exh.Best.TrainCores, exh.BestTime)
+
+	budget := space.Size() / 20
+	tuner := bayesopt.NewTuner(space, budget, 3)
+	for !tuner.Done() {
+		cfg := tuner.Next()
+		tuner.Observe(cfg, obj.Evaluate(cfg))
+	}
+	best, secs := tuner.Best()
+	fmt.Printf("auto-tuner (%d searches, 5%%): %d actor groups × %d cores, %d SM units → %.1fs (%.0f%% of optimal)\n",
+		budget, best.Procs, best.SampleCores, best.TrainCores, secs, 100*exh.BestTime/secs)
+	fmt.Println("\nactors ↔ sampling cores, learner ↔ training cores: the same")
+	fmt.Println("black-box tuner that configures GNN training balances RL pipelines.")
+}

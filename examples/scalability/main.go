@@ -1,0 +1,62 @@
+// Scalability: reproduce the paper's headline scaling story (Figs. 1 and
+// 8) on the simulated platforms — stock DGL/PyG peak at ~16 cores, while
+// ARGO keeps scaling until the NUMA/UPI bandwidth limit.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"argo/internal/graph"
+	"argo/internal/platform"
+	"argo/internal/platsim"
+)
+
+func main() {
+	ds, err := graph.Spec("ogbn-products")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := []int{4, 8, 16, 32, 64, 112}
+	for _, lib := range []platsim.Profile{platsim.DGL, platsim.PyG} {
+		sc := platsim.Scenario{
+			Platform: platform.IceLake4S,
+			Library:  lib,
+			Sampler:  platsim.Neighbor,
+			Model:    platsim.SAGE,
+			Dataset:  ds,
+		}
+		fmt.Printf("Neighbor-SAGE on ogbn-products, Ice Lake (112 cores), %s:\n", lib.Name)
+		fmt.Printf("%8s  %12s  %12s  %s\n", "cores", lib.Name, "ARGO", "ARGO config")
+		var libBase, argoBase float64
+		for _, c := range cores {
+			libEpoch, err := platsim.BaselineEpoch(sc, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg, argoEpoch := platsim.BestWithBudget(sc, c)
+			if libBase == 0 {
+				libBase, argoBase = libEpoch, argoEpoch
+			}
+			fmt.Printf("%8d  %6.1fs %s  %6.1fs %s  %s\n",
+				c,
+				libEpoch, bar(libBase/libEpoch),
+				argoEpoch, bar(argoBase/argoEpoch),
+				cfg)
+		}
+		fmt.Println()
+	}
+	fmt.Println("each bar is the speedup over that series' own 4-core time (1 char = 0.5x);")
+	fmt.Println("the stock library flattens at ~16 cores, ARGO scales on until the UPI limit.")
+}
+
+func bar(speedup float64) string {
+	n := int(speedup * 2)
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}

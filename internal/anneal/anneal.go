@@ -1,0 +1,66 @@
+// Package anneal implements the simulated-annealing search baseline the
+// paper compares the auto-tuner against (Tables IV/V): a random global
+// search with geometric cooling, run on the same evaluation budget as the
+// Bayesian auto-tuner.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"argo/internal/search"
+)
+
+// Options tune the annealing schedule. Zero values select defaults.
+type Options struct {
+	StartTemp float64 // initial temperature on the relative-cost scale (default 0.3)
+	EndTemp   float64 // final temperature (default 0.01)
+}
+
+// Run performs simulated annealing over sp with the given evaluation
+// budget. Each step proposes a feasible one-dimension move; worse moves
+// are accepted with probability exp(−Δ/T) where Δ is the relative cost
+// increase and T cools geometrically from StartTemp to EndTemp.
+func Run(sp search.Space, obj search.Objective, budget int, rng *rand.Rand, opts Options) search.Result {
+	if opts.StartTemp <= 0 {
+		opts.StartTemp = 0.3
+	}
+	if opts.EndTemp <= 0 {
+		opts.EndTemp = 0.01
+	}
+	var res search.Result
+	if budget <= 0 {
+		return res
+	}
+	cur := sp.Random(rng)
+	curY := obj.Evaluate(cur)
+	res.Best, res.BestTime = cur, curY
+	res.History = append(res.History, search.Eval{Config: cur, Time: curY})
+	res.Evals = 1
+
+	alpha := math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(budget-1)))
+	temp := opts.StartTemp
+	for res.Evals < budget {
+		nbrs := sp.Neighbors(cur)
+		var cand search.Config
+		if len(nbrs) == 0 || rng.Float64() < 0.1 {
+			// Occasional restart kick keeps the walk from being trapped
+			// in a feasibility corner.
+			cand = sp.Random(rng)
+		} else {
+			cand = nbrs[rng.Intn(len(nbrs))]
+		}
+		y := obj.Evaluate(cand)
+		res.Evals++
+		res.History = append(res.History, search.Eval{Config: cand, Time: y})
+		if y < res.BestTime {
+			res.Best, res.BestTime = cand, y
+		}
+		delta := (y - curY) / math.Max(curY, 1e-12)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur, curY = cand, y
+		}
+		temp *= alpha
+	}
+	return res
+}

@@ -1,0 +1,61 @@
+// Package bayesopt implements ARGO's online auto-tuner: a Gaussian-process
+// surrogate over the (n, s, t) configuration space with an Expected-
+// Improvement acquisition function, trained online from epoch-time
+// observations exactly as the paper's Algorithm 1 describes. It replaces
+// the scikit-optimize dependency of the original implementation.
+package bayesopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// cholesky computes the lower-triangular factor L of the symmetric
+// positive-definite matrix a (row-major, n×n) so that L·Lᵀ = a. It fails
+// if a is not positive definite.
+func cholesky(a []float64, n int) ([]float64, error) {
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("bayesopt: matrix not positive definite at %d (%g)", i, sum)
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// solveLower solves L·x = b for lower-triangular L.
+func solveLower(l []float64, n int, b []float64) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x
+}
+
+// solveUpper solves Lᵀ·x = b for the transpose of lower-triangular L.
+func solveUpper(l []float64, n int, b []float64) []float64 {
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x
+}

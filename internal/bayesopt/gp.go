@@ -1,0 +1,156 @@
+package bayesopt
+
+import (
+	"fmt"
+	"math"
+)
+
+// gp is a Gaussian-process regressor with an ARD squared-exponential
+// kernel over points in [0,1]^d and standardized targets. Hyperparameters
+// (a shared length-scale and the noise level) are selected by maximising
+// the log marginal likelihood over a small grid — cheap for the ≤45
+// observations the online tuner accumulates, and robust enough to track
+// the paper's "continuous plane" epoch-time landscapes.
+type gp struct {
+	x     [][]float64
+	yMean float64
+	yStd  float64
+
+	ls  float64 // length-scale (shared across dims; inputs pre-normalised)
+	sn2 float64 // noise variance on the standardized scale
+
+	l     []float64 // Cholesky factor of K
+	alpha []float64 // K⁻¹·y (standardized)
+}
+
+// kernel evaluates the SE kernel between two points.
+func (g *gp) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		diff := (a[i] - b[i]) / g.ls
+		d2 += diff * diff
+	}
+	return math.Exp(-0.5 * d2)
+}
+
+// fitGP fits the GP to (x, y), choosing hyperparameters by grid-searched
+// log marginal likelihood.
+func fitGP(x [][]float64, y []float64) (*gp, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("bayesopt: bad training set (%d points, %d targets)", n, len(y))
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, v := range y {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(n)
+	std := math.Sqrt(variance)
+	if std < 1e-12 {
+		std = 1 // constant targets: any scale works
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - mean) / std
+	}
+
+	best := (*gp)(nil)
+	bestLML := math.Inf(-1)
+	for _, ls := range []float64{0.1, 0.2, 0.35, 0.6, 1.0} {
+		for _, sn2 := range []float64{1e-4, 1e-3, 1e-2} {
+			cand := &gp{x: x, yMean: mean, yStd: std, ls: ls, sn2: sn2}
+			lml, err := cand.factorize(ys)
+			if err != nil {
+				continue
+			}
+			if lml > bestLML {
+				bestLML = lml
+				best = cand
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("bayesopt: GP fit failed for all hyperparameters")
+	}
+	return best, nil
+}
+
+// factorize builds K, Cholesky-factorises it, computes alpha, and returns
+// the log marginal likelihood.
+func (g *gp) factorize(ys []float64) (float64, error) {
+	n := len(g.x)
+	k := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(g.x[i], g.x[j])
+			if i == j {
+				v += g.sn2 + 1e-10
+			}
+			k[i*n+j] = v
+			k[j*n+i] = v
+		}
+	}
+	l, err := cholesky(k, n)
+	if err != nil {
+		return 0, err
+	}
+	g.l = l
+	z := solveLower(l, n, ys)
+	g.alpha = solveUpper(l, n, z)
+	// LML = -0.5 yᵀα − Σ log L_ii − n/2 log 2π.
+	var lml float64
+	for i := range ys {
+		lml -= 0.5 * ys[i] * g.alpha[i]
+		lml -= math.Log(l[i*n+i])
+	}
+	lml -= 0.5 * float64(n) * math.Log(2*math.Pi)
+	return lml, nil
+}
+
+// predict returns the posterior mean and standard deviation at point p,
+// on the original (unstandardized) target scale.
+func (g *gp) predict(p []float64) (mu, sigma float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range g.x {
+		ks[i] = g.kernel(p, g.x[i])
+	}
+	var m float64
+	for i := range ks {
+		m += ks[i] * g.alpha[i]
+	}
+	v := solveLower(g.l, n, ks)
+	var quad float64
+	for _, vi := range v {
+		quad += vi * vi
+	}
+	variance := 1 + g.sn2 - quad
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return g.yMean + m*g.yStd, math.Sqrt(variance) * g.yStd
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
+
+// expectedImprovement returns EI for *minimisation*: how much below the
+// incumbent best the point is expected to land.
+func expectedImprovement(mu, sigma, best float64) float64 {
+	if sigma < 1e-12 {
+		if mu < best {
+			return best - mu
+		}
+		return 0
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*normCDF(z) + sigma*normPDF(z)
+}

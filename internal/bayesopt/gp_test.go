@@ -1,0 +1,180 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4,2],[2,3]] → L = [[2,0],[1,sqrt2]].
+	a := []float64{4, 2, 2, 3}
+	l, err := cholesky(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, math.Sqrt2}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Fatalf("L = %v, want %v", l, want)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if _, err := cholesky(a, 2); err == nil {
+		t.Fatal("expected failure for indefinite matrix")
+	}
+}
+
+func TestTriangularSolvesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 6
+	// Build SPD A = M·Mᵀ + n·I.
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m[i*n+k] * m[j*n+k]
+			}
+			a[i*n+j] = s
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	l, err := cholesky(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Solve A·x = b via L then Lᵀ, check residual.
+	x := solveUpper(l, n, solveLower(l, n, b))
+	for i := 0; i < n; i++ {
+		var got float64
+		for j := 0; j < n; j++ {
+			got += a[i*n+j] * x[j]
+		}
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("residual %g at row %d", got-b[i], i)
+		}
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0.1}, {0.4}, {0.7}, {0.95}}
+	y := []float64{3, 1, 2, 5}
+	g, err := fitGP(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, sigma := g.predict(x[i])
+		if math.Abs(mu-y[i]) > 0.35*g.yStd {
+			t.Fatalf("point %d: predicted %g, observed %g", i, mu, y[i])
+		}
+		if sigma < 0 {
+			t.Fatal("negative posterior std")
+		}
+	}
+}
+
+func TestGPPredictsSmoothFunction(t *testing.T) {
+	f := func(x float64) float64 { return 5 + 3*math.Sin(4*x) }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x))
+	}
+	g, err := fitGP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolation error at held-out midpoints.
+	for i := 0; i < 10; i++ {
+		x := float64(i)/10 + 0.05
+		mu, _ := g.predict([]float64{x})
+		if math.Abs(mu-f(x)) > 0.5 {
+			t.Fatalf("at %.2f predicted %g, truth %g", x, mu, f(x))
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0.5, 0.5, 0.5}}
+	y := []float64{1}
+	g, err := fitGP(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sigmaNear := g.predict([]float64{0.5, 0.5, 0.5})
+	_, sigmaFar := g.predict([]float64{0, 0, 0})
+	if sigmaFar <= sigmaNear {
+		t.Fatalf("posterior std must grow away from data: near %g far %g", sigmaNear, sigmaFar)
+	}
+}
+
+func TestGPConstantTargets(t *testing.T) {
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	y := []float64{2, 2, 2}
+	g, err := fitGP(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := g.predict([]float64{0.3})
+	if math.Abs(mu-2) > 0.2 {
+		t.Fatalf("constant GP predicted %g", mu)
+	}
+}
+
+func TestFitGPErrors(t *testing.T) {
+	if _, err := fitGP(nil, nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := fitGP([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// EI is non-negative and grows with uncertainty.
+	if expectedImprovement(5, 1, 4) < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+	lo := expectedImprovement(5, 0.5, 4)
+	hi := expectedImprovement(5, 2.0, 4)
+	if hi <= lo {
+		t.Fatalf("EI must grow with sigma: %g vs %g", lo, hi)
+	}
+	// Deterministic point strictly better than the incumbent: EI = gap.
+	if ei := expectedImprovement(3, 0, 4); math.Abs(ei-1) > 1e-12 {
+		t.Fatalf("deterministic EI = %g, want 1", ei)
+	}
+	// Deterministic point worse than the incumbent: EI = 0.
+	if ei := expectedImprovement(5, 0, 4); ei != 0 {
+		t.Fatalf("EI = %g, want 0", ei)
+	}
+}
+
+func TestNormCDFAnchors(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Fatal("Φ(0) must be 0.5")
+	}
+	if normCDF(5) < 0.999 || normCDF(-5) > 0.001 {
+		t.Fatal("Φ tails wrong")
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatal("φ(0) wrong")
+	}
+}

@@ -1,0 +1,195 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"argo/internal/search"
+)
+
+// Tuner is ARGO's online auto-tuner (paper Algorithm 1). It proposes one
+// configuration per training epoch: the first InitRandom proposals are
+// random probes, after which a GP surrogate is refit to all observations
+// and the next proposal maximises Expected Improvement over the whole
+// feasible space (exact argmax — the space is small and discrete).
+//
+// The tuner is objective-agnostic: it never sees the platform, model or
+// dataset, only (configuration, epoch-time) pairs, which is what lets
+// ARGO adapt to any setup.
+type Tuner struct {
+	Space       search.Space
+	NumSearches int // online-learning budget (Table VI)
+	InitRandom  int // random probes before the GP takes over
+
+	// RandomAcquisition degrades the tuner to random search while keeping
+	// the rest of the loop identical — the acquisition ablation.
+	RandomAcquisition bool
+
+	rng        *rand.Rand
+	candidates []search.Config
+	observedX  []search.Config
+	observedY  []float64
+	seen       map[search.Config]bool
+
+	best     search.Config
+	bestY    float64
+	haveBest bool
+	overhead time.Duration // cumulative surrogate fit + acquisition time
+}
+
+// NewTuner builds a tuner over sp with the given online-learning budget.
+func NewTuner(sp search.Space, numSearches int, seed int64) *Tuner {
+	init := 5
+	if init > numSearches/2 {
+		init = numSearches / 2
+	}
+	if init < 1 {
+		init = 1
+	}
+	return &Tuner{
+		Space:       sp,
+		NumSearches: numSearches,
+		InitRandom:  init,
+		rng:         rand.New(rand.NewSource(seed)),
+		candidates:  sp.Enumerate(),
+		seen:        map[search.Config]bool{},
+	}
+}
+
+// Done reports whether the online-learning budget is exhausted.
+func (t *Tuner) Done() bool { return len(t.observedX) >= t.NumSearches }
+
+// Next proposes the configuration to run the next training epoch with.
+func (t *Tuner) Next() search.Config {
+	start := time.Now()
+	defer func() { t.overhead += time.Since(start) }()
+
+	if len(t.observedX) < t.InitRandom || t.RandomAcquisition {
+		return t.randomUnseen()
+	}
+	// Fit only on finite observations: a crashed or timed-out epoch
+	// measurement (±Inf/NaN) must not poison the surrogate.
+	xs, ys := t.finiteObservations()
+	if len(xs) < 2 {
+		return t.randomUnseen()
+	}
+	g, err := fitGP(xs, ys)
+	if err != nil {
+		return t.randomUnseen()
+	}
+	bestEI := -1.0
+	var bestCfg search.Config
+	found := false
+	for _, c := range t.candidates {
+		if t.seen[c] {
+			continue
+		}
+		mu, sigma := g.predict(t.normalize(c))
+		if ei := expectedImprovement(mu, sigma, t.bestY); ei > bestEI {
+			bestEI, bestCfg, found = ei, c, true
+		}
+	}
+	if !found {
+		return t.randomUnseen()
+	}
+	return bestCfg
+}
+
+// Observe records an evaluated configuration and its epoch time.
+// Non-finite times (a crashed epoch) are recorded as seen — so the
+// configuration is never proposed again — but excluded from the surrogate
+// and from the incumbent.
+func (t *Tuner) Observe(c search.Config, epochTime float64) {
+	t.observedX = append(t.observedX, c)
+	t.observedY = append(t.observedY, epochTime)
+	t.seen[c] = true
+	if !isFinite(epochTime) {
+		return
+	}
+	if !t.haveBest || epochTime < t.bestY {
+		t.best, t.bestY, t.haveBest = c, epochTime, true
+	}
+}
+
+// finiteObservations filters the training set for the GP.
+func (t *Tuner) finiteObservations() ([][]float64, []float64) {
+	var xs [][]float64
+	var ys []float64
+	for i, y := range t.observedY {
+		if isFinite(y) {
+			xs = append(xs, t.normalize(t.observedX[i]))
+			ys = append(ys, y)
+		}
+	}
+	return xs, ys
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Best returns the incumbent optimal configuration and its epoch time
+// (Algorithm 1's Tuner.get_opt).
+func (t *Tuner) Best() (search.Config, float64) { return t.best, t.bestY }
+
+// Observations returns how many configurations have been evaluated.
+func (t *Tuner) Observations() int { return len(t.observedX) }
+
+// Overhead returns the cumulative time spent fitting the surrogate and
+// maximising the acquisition function — the auto-tuning overhead the
+// paper profiles in §VI-D.
+func (t *Tuner) Overhead() time.Duration { return t.overhead }
+
+// Run drives the full online loop against obj: propose, evaluate, observe,
+// for NumSearches rounds.
+func (t *Tuner) Run(obj search.Objective) search.Result {
+	var res search.Result
+	for !t.Done() {
+		c := t.Next()
+		y := obj.Evaluate(c)
+		t.Observe(c, y)
+		res.History = append(res.History, search.Eval{Config: c, Time: y})
+		res.Evals++
+	}
+	res.Best, res.BestTime = t.Best()
+	return res
+}
+
+// randomUnseen draws a random feasible configuration not yet observed
+// (falling back to any random one once the space is exhausted).
+func (t *Tuner) randomUnseen() search.Config {
+	if len(t.seen) >= len(t.candidates) {
+		return t.Space.Random(t.rng)
+	}
+	for {
+		c := t.Space.Random(t.rng)
+		if !t.seen[c] {
+			return c
+		}
+	}
+}
+
+// normalize maps a config into [0,1]^3 for the kernel.
+func (t *Tuner) normalize(c search.Config) []float64 {
+	sp := t.Space
+	span := func(v, lo, hi int) float64 {
+		if hi == lo {
+			return 0
+		}
+		return float64(v-lo) / float64(hi-lo)
+	}
+	return []float64{
+		span(c.Procs, sp.MinProcs, sp.MaxProcs),
+		span(c.SampleCores, 1, sp.MaxSample),
+		span(c.TrainCores, 1, sp.MaxTrain),
+	}
+}
+
+func (t *Tuner) normalized() [][]float64 {
+	out := make([][]float64, len(t.observedX))
+	for i, c := range t.observedX {
+		out[i] = t.normalize(c)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package core wires ARGO's runtime components together: the
+// Multi-Process Engine (n synchronized training replicas over the engine
+// package) and the Core-Binder (virtual-core accounting through
+// platform.Allocator). The public package argo at the module root wraps
+// this with the paper's user-facing API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"argo/internal/engine"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/platform"
+	"argo/internal/sampler"
+	"argo/internal/search"
+	"argo/internal/tensor"
+)
+
+// TrainerOptions configures a real (not simulated) GNN training job that
+// ARGO manages.
+type TrainerOptions struct {
+	Dataset   *graph.Dataset
+	Sampler   sampler.Sampler
+	Model     nn.ModelSpec
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// Binder supplies the virtual cores processes are bound to. Defaults
+	// to an allocator over a machine with as many cores as the largest
+	// configuration can use.
+	Binder *platform.Allocator
+}
+
+// Trainer runs mini-batch GNN training under changing ARGO
+// configurations, preserving model state across re-launches: when the
+// auto-tuner picks a different process count, the current weights are
+// exported from the old Multi-Process Engine and imported into the new
+// one (the re-launch described in paper §VI-F).
+type Trainer struct {
+	opts TrainerOptions
+
+	cfg     search.Config
+	eng     *engine.Engine
+	cores   []platform.CoreID
+	weights []*tensor.Matrix
+	epoch   int
+}
+
+// NewTrainer validates opts and returns an idle trainer.
+func NewTrainer(opts TrainerOptions) (*Trainer, error) {
+	if opts.Dataset == nil || opts.Sampler == nil {
+		return nil, fmt.Errorf("core: dataset and sampler are required")
+	}
+	if opts.BatchSize < 1 {
+		return nil, fmt.Errorf("core: batch size %d", opts.BatchSize)
+	}
+	if opts.Binder == nil {
+		spec := platform.Spec{Name: "virtual", Sockets: 1, CoresPerSocket: 8 * 20}
+		opts.Binder = platform.NewAllocator(spec)
+	}
+	return &Trainer{opts: opts}, nil
+}
+
+// Epoch returns how many epochs have been trained so far.
+func (tr *Trainer) Epoch() int { return tr.epoch }
+
+// Config returns the currently bound configuration.
+func (tr *Trainer) Config() search.Config { return tr.cfg }
+
+// Step trains `epochs` epochs under cfg and returns the mean wall-clock
+// epoch time in seconds. It satisfies the argo.TrainStep contract.
+func (tr *Trainer) Step(cfg search.Config, epochs int) (float64, error) {
+	if epochs < 1 {
+		return 0, nil
+	}
+	if err := tr.bind(cfg); err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for i := 0; i < epochs; i++ {
+		res, err := tr.eng.RunEpoch(tr.epoch)
+		if err != nil {
+			return 0, err
+		}
+		tr.epoch++
+		total += res.Duration
+	}
+	return total.Seconds() / float64(epochs), nil
+}
+
+// Evaluate reports validation accuracy under the current weights.
+func (tr *Trainer) Evaluate() (float64, error) {
+	if tr.eng == nil {
+		if err := tr.bind(search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}); err != nil {
+			return 0, err
+		}
+	}
+	return tr.eng.Evaluate(tr.opts.Dataset.ValIdx), nil
+}
+
+// Engine exposes the current Multi-Process Engine (nil before first use).
+func (tr *Trainer) Engine() *engine.Engine { return tr.eng }
+
+// bind (re-)launches the Multi-Process Engine for cfg: release the old
+// core binding, allocate cfg's cores, rebuild the engine, and carry the
+// model weights over.
+func (tr *Trainer) bind(cfg search.Config) error {
+	if tr.eng != nil && cfg == tr.cfg {
+		return nil
+	}
+	if tr.eng != nil {
+		tr.weights = tr.eng.ExportWeights()
+		if err := tr.opts.Binder.Release(tr.cores); err != nil {
+			return err
+		}
+		tr.cores = nil
+		tr.eng = nil
+	}
+	cores, err := tr.opts.Binder.Allocate(cfg.Procs * (cfg.SampleCores + cfg.TrainCores))
+	if err != nil {
+		return fmt.Errorf("core: binding %s: %w", cfg, err)
+	}
+	eng, err := engine.New(engine.Config{
+		Dataset:       tr.opts.Dataset,
+		Sampler:       tr.opts.Sampler,
+		Model:         tr.opts.Model,
+		BatchSize:     tr.opts.BatchSize,
+		LR:            tr.opts.LR,
+		NumProcs:      cfg.Procs,
+		SampleWorkers: cfg.SampleCores,
+		TrainWorkers:  cfg.TrainCores,
+		Seed:          tr.opts.Seed,
+	})
+	if err != nil {
+		relErr := tr.opts.Binder.Release(cores)
+		if relErr != nil {
+			return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
+		}
+		return err
+	}
+	if tr.weights != nil {
+		if err := eng.ImportWeights(tr.weights); err != nil {
+			return err
+		}
+	}
+	tr.eng = eng
+	tr.cores = cores
+	tr.cfg = cfg
+	return nil
+}
+
+// Close releases the trainer's core binding.
+func (tr *Trainer) Close() error {
+	if tr.cores == nil {
+		return nil
+	}
+	err := tr.opts.Binder.Release(tr.cores)
+	tr.cores = nil
+	tr.eng = nil
+	return err
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/platform"
+	"argo/internal/sampler"
+	"argo/internal/search"
+)
+
+func trainerOpts(t testing.TB) TrainerOptions {
+	t.Helper()
+	spec := graph.DatasetSpec{
+		Name: "core-unit", ScaledNodes: 300, ScaledEdges: 2200,
+		ScaledF0: 12, ScaledHidden: 8, ScaledClasses: 4,
+		Homophily: 0.7, Exponent: 2.2, TrainFrac: 0.5,
+	}
+	ds, err := graph.Build(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TrainerOptions{
+		Dataset:   ds,
+		Sampler:   sampler.NewNeighbor(ds.Graph, []int{4, 4}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{12, 8, 4}, Seed: 3},
+		BatchSize: 50,
+		LR:        0.01,
+		Seed:      9,
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	if _, err := NewTrainer(TrainerOptions{}); err == nil {
+		t.Fatal("empty options must be rejected")
+	}
+	opts := trainerOpts(t)
+	opts.BatchSize = 0
+	if _, err := NewTrainer(opts); err == nil {
+		t.Fatal("zero batch size must be rejected")
+	}
+}
+
+func TestTrainerStepRunsEpochs(t *testing.T) {
+	tr, err := NewTrainer(trainerOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	secs, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatal("epoch time must be positive")
+	}
+	if tr.Epoch() != 3 {
+		t.Fatalf("Epoch() = %d, want 3", tr.Epoch())
+	}
+	if _, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 0); err != nil {
+		t.Fatal("zero epochs must be a no-op")
+	}
+}
+
+// Reconfiguration must carry weights: training must keep improving across
+// configuration changes rather than restarting from scratch.
+func TestTrainerCarriesWeightsAcrossConfigs(t *testing.T) {
+	tr, err := NewTrainer(trainerOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	configs := []search.Config{
+		{Procs: 1, SampleCores: 1, TrainCores: 2},
+		{Procs: 4, SampleCores: 1, TrainCores: 1},
+		{Procs: 2, SampleCores: 2, TrainCores: 2},
+	}
+	for _, cfg := range configs {
+		if _, err := tr.Step(cfg, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := tr.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 total epochs on an easy planted-community dataset: accuracy must
+	// be far above the 0.25 chance level — impossible if weights were
+	// reset at each re-launch (4 epochs per config would not suffice for
+	// this margin... but 12 cumulative epochs are).
+	fresh, err := NewTrainer(trainerOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.Step(configs[2], 4); err != nil {
+		t.Fatal(err)
+	}
+	freshAcc, err := fresh.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= freshAcc {
+		t.Fatalf("carried-weights accuracy %.3f not above fresh-4-epoch accuracy %.3f", acc, freshAcc)
+	}
+}
+
+// The Core-Binder must release cores on reconfiguration — otherwise
+// repeated re-binding exhausts the allocator.
+func TestTrainerReleasesCores(t *testing.T) {
+	opts := trainerOpts(t)
+	spec := platform.Spec{Name: "tiny", Sockets: 1, CoresPerSocket: 8}
+	opts.Binder = platform.NewAllocator(spec)
+	tr, err := NewTrainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 5; i++ {
+		// 2×(1+2) = 6 of 8 cores; leaks would fail on the second pass.
+		if _, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 2}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Step(search.Config{Procs: 1, SampleCores: 2, TrainCores: 4}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if free := opts.Binder.Free(); free != 8 {
+		t.Fatalf("after Close, %d of 8 cores free", free)
+	}
+}
+
+func TestTrainerRejectsOversizedConfig(t *testing.T) {
+	opts := trainerOpts(t)
+	opts.Binder = platform.NewAllocator(platform.Spec{Name: "tiny", Sockets: 1, CoresPerSocket: 4})
+	tr, err := NewTrainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Step(search.Config{Procs: 4, SampleCores: 2, TrainCores: 2}, 1); err == nil {
+		t.Fatal("16-core config on a 4-core binder must fail")
+	}
+	// The failed bind must not leak cores.
+	if _, err := tr.Step(search.Config{Procs: 1, SampleCores: 1, TrainCores: 3}, 1); err != nil {
+		t.Fatalf("valid config after failed bind: %v", err)
+	}
+}
+
+func TestEvaluateWithoutStep(t *testing.T) {
+	tr, err := NewTrainer(trainerOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	acc, err := tr.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"argo/internal/graph"
+)
+
+func idRange(n int) []graph.NodeID {
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	return ids
+}
+
+func TestEpochBatchesCoverAllTargetsOnce(t *testing.T) {
+	train := idRange(103)
+	batches := epochBatches(train, 10, 5)
+	if len(batches) != 11 {
+		t.Fatalf("got %d batches, want 11", len(batches))
+	}
+	seen := map[graph.NodeID]int{}
+	for _, b := range batches {
+		for _, v := range b {
+			seen[v]++
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("batches cover %d targets, want 103", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("target %d appears %d times", v, c)
+		}
+	}
+}
+
+func TestEpochBatchesShuffleDeterministic(t *testing.T) {
+	train := idRange(50)
+	a := epochBatches(train, 8, 7)
+	b := epochBatches(train, 8, 7)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed must give same shuffle")
+			}
+		}
+	}
+	c := epochBatches(train, 8, 8)
+	same := true
+	for i := range a[0] {
+		if a[0][i] != c[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should shuffle differently")
+	}
+}
+
+func TestEpochBatchesDoesNotMutateInput(t *testing.T) {
+	train := idRange(20)
+	epochBatches(train, 4, 3)
+	for i, v := range train {
+		if v != graph.NodeID(i) {
+			t.Fatal("epochBatches mutated the training index slice")
+		}
+	}
+}
+
+func TestSplitSharesSizes(t *testing.T) {
+	batch := idRange(10)
+	shares := splitShares(batch, 4)
+	wantSizes := []int{3, 3, 2, 2}
+	total := 0
+	for i, s := range shares {
+		if len(s) != wantSizes[i] {
+			t.Fatalf("share %d has %d targets, want %d", i, len(s), wantSizes[i])
+		}
+		total += len(s)
+	}
+	if total != 10 {
+		t.Fatalf("shares cover %d targets", total)
+	}
+}
+
+func TestSplitSharesSmallBatch(t *testing.T) {
+	shares := splitShares(idRange(2), 4)
+	nonEmpty := 0
+	for _, s := range shares {
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("2 targets over 4 procs: %d non-empty shares", nonEmpty)
+	}
+}
+
+// The semantics invariant behind the batch adjustment: the union of the n
+// shares equals the global batch regardless of n.
+func TestSplitSharesPreserveGlobalBatch(t *testing.T) {
+	batch := idRange(17)
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		seen := map[graph.NodeID]bool{}
+		for _, s := range splitShares(batch, n) {
+			for _, v := range s {
+				if seen[v] {
+					t.Fatalf("n=%d: duplicate target %d", n, v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != 17 {
+			t.Fatalf("n=%d: union has %d targets, want 17", n, len(seen))
+		}
+	}
+}
+
+func TestSeedForIsStable(t *testing.T) {
+	if seedFor(1, 2, 3) != seedFor(1, 2, 3) {
+		t.Fatal("seedFor must be pure")
+	}
+	seen := map[int64]bool{}
+	for e := 0; e < 10; e++ {
+		for i := 0; i < 10; i++ {
+			s := seedFor(42, e, i)
+			if seen[s] {
+				t.Fatalf("seed collision at epoch %d iter %d", e, i)
+			}
+			seen[s] = true
+		}
+	}
+}

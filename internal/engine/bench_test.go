@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"testing"
+)
+
+// BenchmarkEpoch measures a real training epoch of the scaled unit
+// dataset with the multi-process engine, the workload ARGO's online tuner
+// times on live systems.
+func BenchmarkEpoch(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1proc", 2: "2proc", 4: "4proc"}[n], func(b *testing.B) {
+			ds := testDataset(b)
+			e, err := New(testConfig(b, ds, n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RunEpoch(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

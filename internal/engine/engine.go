@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"argo/internal/ddp"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+// Config describes one training run. NumProcs, SampleWorkers and
+// TrainWorkers are ARGO's three parallelisation parameters (n, s, t).
+type Config struct {
+	Dataset *graph.Dataset
+	Sampler sampler.Sampler
+	Model   nn.ModelSpec
+	// BatchSize is the GLOBAL mini-batch size B. Each of the NumProcs
+	// replicas trains on ≈B/NumProcs targets per iteration, preserving
+	// the algorithm's effective batch size (paper §IV-B2).
+	BatchSize     int
+	LR            float64
+	NumProcs      int
+	SampleWorkers int // sampling cores per process (s)
+	TrainWorkers  int // training cores per process (t)
+	Seed          int64
+	// AdjustBatch mirrors the Multi-Process Engine's batch-size
+	// adjustment. It defaults to true via New; setting it false after New
+	// reproduces the semantics-breaking naive-DDP ablation, where every
+	// process trains on a full-size batch from its own partition
+	// (effective batch n·B).
+	AdjustBatch bool
+}
+
+// EpochResult summarises one training epoch.
+type EpochResult struct {
+	Epoch     int
+	MeanLoss  float64
+	Duration  time.Duration
+	Stats     sampler.Stats // accumulated sampling workload
+	NumIters  int
+	BatchSeen int // total target nodes processed
+}
+
+// replica is one "GNN process": its own model, optimizer and worker pools.
+type replica struct {
+	model     *nn.GNN
+	opt       *nn.Adam
+	trainPool *tensor.Pool
+
+	// per-iteration scratch, written by the replica's goroutine only
+	lastLoss  float64
+	lastCount int
+	lastStats sampler.Stats
+}
+
+// Engine trains a GNN with n synchronized replicas. It is the substrate
+// both the library baseline (n=1) and ARGO's Multi-Process Engine run on.
+type Engine struct {
+	cfg      Config
+	replicas []*replica
+
+	// BatchHook, when non-nil, runs after every global iteration (all
+	// replicas synced). Experiments use it to trace convergence curves.
+	BatchHook func(iteration int)
+
+	iterCount int // global iterations since construction
+}
+
+// New validates cfg, builds the replicas (bit-identical initial weights),
+// and returns the engine. AdjustBatch is forced on; tests that need the
+// ablation flip it explicitly afterwards.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Dataset == nil || cfg.Sampler == nil {
+		return nil, fmt.Errorf("engine: dataset and sampler are required")
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("engine: batch size %d", cfg.BatchSize)
+	}
+	if cfg.NumProcs < 1 {
+		return nil, fmt.Errorf("engine: NumProcs %d", cfg.NumProcs)
+	}
+	if cfg.SampleWorkers < 1 || cfg.TrainWorkers < 1 {
+		return nil, fmt.Errorf("engine: worker counts must be ≥1, got s=%d t=%d", cfg.SampleWorkers, cfg.TrainWorkers)
+	}
+	if cfg.Model.Kind == "" {
+		return nil, fmt.Errorf("engine: model spec required")
+	}
+	cfg.AdjustBatch = true
+	e := &Engine{cfg: cfg}
+	degrees := nn.Degrees(cfg.Dataset.Graph)
+	for r := 0; r < cfg.NumProcs; r++ {
+		m, err := nn.NewModel(cfg.Model, degrees)
+		if err != nil {
+			return nil, err
+		}
+		e.replicas = append(e.replicas, &replica{
+			model:     m,
+			opt:       nn.NewAdam(cfg.LR),
+			trainPool: tensor.NewPool(cfg.TrainWorkers),
+		})
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetAdjustBatch toggles the batch-size adjustment (see Config).
+func (e *Engine) SetAdjustBatch(v bool) { e.cfg.AdjustBatch = v }
+
+// Model returns replica r's model (replicas stay identical; tests verify).
+func (e *Engine) Model(r int) *nn.GNN { return e.replicas[r].model }
+
+// ParamSets exposes every replica's parameters, for consistency checks.
+func (e *Engine) ParamSets() [][]*nn.Param {
+	sets := make([][]*nn.Param, len(e.replicas))
+	for r, rep := range e.replicas {
+		sets[r] = rep.model.Params()
+	}
+	return sets
+}
+
+// RunEpoch trains one epoch and returns its summary.
+func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
+	start := time.Now()
+	n := e.cfg.NumProcs
+	ds := e.cfg.Dataset
+
+	globalBatches := epochBatches(ds.TrainIdx, e.cfg.BatchSize, seedFor(e.cfg.Seed, epoch, -1))
+
+	// Build per-replica job lists. With AdjustBatch each iteration is one
+	// global batch split n ways; without it (ablation) each replica
+	// consumes full-size batches from its own partition.
+	perReplicaJobs := make([][]prefetchJob, n)
+	var numIters int
+	if e.cfg.AdjustBatch {
+		numIters = len(globalBatches)
+		for it, gb := range globalBatches {
+			shares := splitShares(gb, n)
+			for r := 0; r < n; r++ {
+				perReplicaJobs[r] = append(perReplicaJobs[r], prefetchJob{
+					index:   it,
+					seed:    seedFor(e.cfg.Seed, epoch, it*n+r),
+					targets: shares[r],
+				})
+			}
+		}
+	} else {
+		parts := make([][]graph.NodeID, n)
+		for i, v := range ds.TrainIdx {
+			parts[i%n] = append(parts[i%n], v)
+		}
+		for r := 0; r < n; r++ {
+			batches := epochBatches(parts[r], e.cfg.BatchSize, seedFor(e.cfg.Seed, epoch, -2-r))
+			for it, b := range batches {
+				perReplicaJobs[r] = append(perReplicaJobs[r], prefetchJob{
+					index: it, seed: seedFor(e.cfg.Seed, epoch, it*n+r), targets: b,
+				})
+				if it+1 > numIters {
+					numIters = it + 1
+				}
+			}
+		}
+		// Pad shorter replicas with empty jobs so the barrier stays square.
+		for r := 0; r < n; r++ {
+			for len(perReplicaJobs[r]) < numIters {
+				perReplicaJobs[r] = append(perReplicaJobs[r], prefetchJob{index: len(perReplicaJobs[r])})
+			}
+		}
+	}
+
+	prefetchers := make([]*prefetcher, n)
+	for r := 0; r < n; r++ {
+		prefetchers[r] = newPrefetcher(e.cfg.Sampler, perReplicaJobs[r], e.cfg.SampleWorkers)
+	}
+
+	res := EpochResult{Epoch: epoch, NumIters: numIters}
+	var lossSum float64
+	var lossCount int
+	sets := e.ParamSets()
+	weights := make([]float64, n)
+
+	for it := 0; it < numIters; it++ {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				e.replicas[r].step(prefetchers[r].Next(), ds)
+			}(r)
+		}
+		wg.Wait()
+		anyWork := false
+		for r := 0; r < n; r++ {
+			rep := e.replicas[r]
+			weights[r] = float64(rep.lastCount)
+			if rep.lastCount > 0 {
+				anyWork = true
+				lossSum += rep.lastLoss * float64(rep.lastCount)
+				lossCount += rep.lastCount
+				res.BatchSeen += rep.lastCount
+				res.Stats.Accumulate(rep.lastStats)
+			}
+		}
+		if anyWork {
+			if err := ddp.AllReduceMeanWeighted(sets, weights); err != nil {
+				return res, err
+			}
+			for r := 0; r < n; r++ {
+				e.replicas[r].opt.Step(sets[r])
+			}
+		}
+		e.iterCount++
+		if e.BatchHook != nil {
+			e.BatchHook(e.iterCount)
+		}
+	}
+	for r := 0; r < n; r++ {
+		prefetchers[r].Close()
+	}
+	if lossCount > 0 {
+		res.MeanLoss = lossSum / float64(lossCount)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// step computes one replica's gradient contribution for a mini-batch.
+// An empty share zeroes the gradients and reports weight 0.
+func (rep *replica) step(mb *sampler.MiniBatch, ds *graph.Dataset) {
+	rep.model.ZeroGrad()
+	rep.lastCount = 0
+	rep.lastLoss = 0
+	rep.lastStats = sampler.Stats{}
+	if mb == nil || len(mb.Targets) == 0 {
+		return
+	}
+	x0 := nn.Gather(ds.Features, mb.InputNodes())
+	logits := rep.model.Forward(rep.trainPool, mb, x0)
+	labels := make([]int32, len(mb.Targets))
+	for i, v := range mb.Targets {
+		labels[i] = ds.Labels[v]
+	}
+	loss, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
+	rep.model.Backward(rep.trainPool, dLogits)
+	rep.lastLoss = loss
+	rep.lastCount = len(mb.Targets)
+	rep.lastStats = mb.Stats
+}
+
+// ExportWeights returns a deep copy of replica 0's parameters, in the
+// model's stable parameter order. The Multi-Process Engine uses this to
+// carry weights across auto-tuner re-launches with a different process
+// count.
+func (e *Engine) ExportWeights() []*tensor.Matrix {
+	params := e.replicas[0].model.Params()
+	out := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		out[i] = p.W.Clone()
+	}
+	return out
+}
+
+// ImportWeights loads weights (as produced by ExportWeights) into every
+// replica, keeping them bit-identical.
+func (e *Engine) ImportWeights(ws []*tensor.Matrix) error {
+	for _, rep := range e.replicas {
+		params := rep.model.Params()
+		if len(params) != len(ws) {
+			return fmt.Errorf("engine: ImportWeights got %d tensors, model has %d params", len(ws), len(params))
+		}
+		for i, p := range params {
+			if p.W.Rows != ws[i].Rows || p.W.Cols != ws[i].Cols {
+				return fmt.Errorf("engine: ImportWeights param %d shape mismatch", i)
+			}
+			p.W.CopyFrom(ws[i])
+		}
+	}
+	return nil
+}
+
+// Evaluate returns replica 0's accuracy on the given node IDs, sampling
+// evaluation batches with a fixed seed so results are deterministic.
+func (e *Engine) Evaluate(ids []graph.NodeID) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	const evalBatch = 256
+	rep := e.replicas[0]
+	correctWeighted := 0.0
+	for lo := 0; lo < len(ids); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		targets := ids[lo:hi]
+		rng := newEvalRand(e.cfg.Seed, lo)
+		mb := e.cfg.Sampler.Sample(rng, targets)
+		x0 := nn.Gather(e.cfg.Dataset.Features, mb.InputNodes())
+		logits := rep.model.Forward(rep.trainPool, mb, x0)
+		labels := make([]int32, len(targets))
+		for i, v := range targets {
+			labels[i] = e.cfg.Dataset.Labels[v]
+		}
+		correctWeighted += nn.Accuracy(logits, labels) * float64(len(targets))
+	}
+	return correctWeighted / float64(len(ids))
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+
+	"argo/internal/graph"
+	"argo/internal/sampler"
+)
+
+// prefetcher runs a pool of sampling workers ahead of the trainer,
+// reproducing the sampling/propagation overlap that DGL/PyG dataloaders
+// implement with `num_workers` and that ARGO's `s` parameter sizes.
+//
+// Determinism: each job's sampling RNG is seeded from the job's own seed,
+// never from worker identity, and results are consumed strictly in job
+// order through a reorder buffer — so the produced batch sequence is
+// byte-identical no matter how many workers run or how they interleave.
+type prefetcher struct {
+	jobs    chan prefetchJob
+	results []chan *sampler.MiniBatch
+	window  chan struct{}
+	wg      sync.WaitGroup
+	next    int
+}
+
+type prefetchJob struct {
+	index   int
+	seed    int64
+	targets []graph.NodeID
+}
+
+// newPrefetcher starts `workers` sampling goroutines over the given jobs.
+// The prefetch window bounds how far sampling runs ahead of consumption.
+func newPrefetcher(s sampler.Sampler, jobs []prefetchJob, workers int) *prefetcher {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &prefetcher{
+		jobs:    make(chan prefetchJob),
+		results: make([]chan *sampler.MiniBatch, len(jobs)),
+		window:  make(chan struct{}, workers+2),
+	}
+	for i := range p.results {
+		p.results[i] = make(chan *sampler.MiniBatch, 1)
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				rng := rand.New(rand.NewSource(job.seed))
+				p.results[job.index] <- s.Sample(rng, job.targets)
+			}
+		}()
+	}
+	go func() {
+		for _, job := range jobs {
+			p.window <- struct{}{} // blocks when the window is full
+			p.jobs <- job
+		}
+		close(p.jobs)
+	}()
+	return p
+}
+
+// Next returns the mini-batch for the next job index, blocking until it is
+// sampled. It must be called exactly len(jobs) times.
+func (p *prefetcher) Next() *sampler.MiniBatch {
+	mb := <-p.results[p.next]
+	p.next++
+	<-p.window // open a slot for the producer
+	return mb
+}
+
+// Close waits for the worker goroutines to drain. It is safe to call after
+// consuming all batches.
+func (p *prefetcher) Close() { p.wg.Wait() }

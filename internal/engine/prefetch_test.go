@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/sampler"
+)
+
+// countingSampler wraps a sampler and records concurrency.
+type countingSampler struct {
+	inner       sampler.Sampler
+	inFlight    int32
+	maxInFlight int32
+}
+
+func (c *countingSampler) Name() string   { return c.inner.Name() }
+func (c *countingSampler) NumLayers() int { return c.inner.NumLayers() }
+func (c *countingSampler) Sample(rng *rand.Rand, targets []graph.NodeID) *sampler.MiniBatch {
+	n := atomic.AddInt32(&c.inFlight, 1)
+	for {
+		max := atomic.LoadInt32(&c.maxInFlight)
+		if n <= max || atomic.CompareAndSwapInt32(&c.maxInFlight, max, n) {
+			break
+		}
+	}
+	mb := c.inner.Sample(rng, targets)
+	atomic.AddInt32(&c.inFlight, -1)
+	return mb
+}
+
+func prefetchJobs(t *testing.T, ds *graph.Dataset, n int) []prefetchJob {
+	t.Helper()
+	jobs := make([]prefetchJob, n)
+	for i := range jobs {
+		lo := (i * 10) % len(ds.TrainIdx)
+		hi := lo + 10
+		if hi > len(ds.TrainIdx) {
+			hi = len(ds.TrainIdx)
+		}
+		jobs[i] = prefetchJob{index: i, seed: int64(1000 + i), targets: ds.TrainIdx[lo:hi]}
+	}
+	return jobs
+}
+
+// The batch sequence must be identical for any worker count: per-job
+// seeds plus the reorder buffer make sampling parallelism invisible.
+func TestPrefetcherDeterministicAcrossWorkerCounts(t *testing.T) {
+	ds := testDataset(t)
+	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
+	collect := func(workers int) []int64 {
+		jobs := prefetchJobs(t, ds, 20)
+		p := newPrefetcher(smp, jobs, workers)
+		var edges []int64
+		for range jobs {
+			edges = append(edges, p.Next().Stats.SampledEdges)
+		}
+		p.Close()
+		return edges
+	}
+	ref := collect(1)
+	for _, w := range []int{2, 4, 8} {
+		got := collect(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: batch %d differs (%d vs %d edges)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// The prefetch window must bound how far sampling runs ahead.
+func TestPrefetcherWindowBounded(t *testing.T) {
+	ds := testDataset(t)
+	cs := &countingSampler{inner: sampler.NewNeighbor(ds.Graph, []int{4, 4})}
+	jobs := prefetchJobs(t, ds, 30)
+	const workers = 3
+	p := newPrefetcher(cs, jobs, workers)
+	for range jobs {
+		p.Next()
+	}
+	p.Close()
+	if max := atomic.LoadInt32(&cs.maxInFlight); max > workers {
+		t.Fatalf("%d samplers ran concurrently, worker bound is %d", max, workers)
+	}
+}
+
+// Batches must arrive strictly in job-index order regardless of which
+// worker finishes first (the reorder buffer contract).
+func TestPrefetcherOrdering(t *testing.T) {
+	ds := testDataset(t)
+	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
+	jobs := prefetchJobs(t, ds, 25)
+	// Tag each job with a distinct single target so order is observable.
+	for i := range jobs {
+		jobs[i].targets = ds.TrainIdx[i : i+1]
+	}
+	p := newPrefetcher(smp, jobs, 4)
+	for i := range jobs {
+		mb := p.Next()
+		if mb.Targets[0] != ds.TrainIdx[i] {
+			t.Fatalf("batch %d out of order", i)
+		}
+	}
+	p.Close()
+}
+
+func TestPrefetcherEmptyJobTargets(t *testing.T) {
+	ds := testDataset(t)
+	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
+	jobs := []prefetchJob{{index: 0, seed: 1, targets: nil}}
+	p := newPrefetcher(smp, jobs, 2)
+	mb := p.Next()
+	if len(mb.Targets) != 0 {
+		t.Fatal("empty job should produce an empty batch")
+	}
+	p.Close()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"io"
+
+	"argo/internal/platform"
+	"argo/internal/platsim"
+	"argo/internal/tablefmt"
+)
+
+// Fig1Data holds the baseline core-scaling study: normalized speedup of
+// the stock libraries versus allocated cores (paper Fig. 1).
+type Fig1Data struct {
+	Cores    []int
+	Speedups map[string][]float64 // library name → speedup per core count
+}
+
+// Fig1 reproduces Fig. 1: DGL and PyG training Neighbor-SAGE on
+// ogbn-products, normalized to the 4-core epoch time, flattening around
+// 16 cores.
+func Fig1(w io.Writer) (Fig1Data, error) {
+	data := Fig1Data{
+		Cores:    []int{4, 8, 16, 32, 64, 112},
+		Speedups: map[string][]float64{},
+	}
+	tb := tablefmt.New("Fig 1: normalized speedup vs CPU cores (Neighbor-SAGE, ogbn-products, Ice Lake)",
+		"library", "4", "8", "16", "32", "64", "112")
+	for _, lib := range []platsim.Profile{platsim.DGL, platsim.PyG} {
+		setup := Setup{Lib: lib, Plat: platform.IceLake4S, Sampler: platsim.Neighbor, Model: platsim.SAGE, Dataset: "ogbn-products"}
+		sc := setup.Scenario()
+		var base float64
+		row := []string{lib.Name}
+		for _, c := range data.Cores {
+			epoch, err := platsim.BaselineEpoch(sc, c)
+			if err != nil {
+				return data, err
+			}
+			if base == 0 {
+				base = epoch
+			}
+			s := base / epoch
+			data.Speedups[lib.Name] = append(data.Speedups[lib.Name], s)
+			row = append(row, tablefmt.Ratio(s))
+		}
+		tb.Add(row...)
+	}
+	_, err := io.WriteString(w, tb.String())
+	return data, err
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"argo/internal/platsim"
+	"argo/internal/tablefmt"
+)
+
+// Fig8Series is one line of a Fig. 8 panel: normalized speedup versus
+// allocated cores for either the stock library or ARGO.
+type Fig8Series struct {
+	Label    string
+	Cores    []int
+	Speedup  []float64
+	EpochSec []float64
+}
+
+// Fig8Data groups the four panels (DGL/PyG × Ice Lake/Sapphire Rapids).
+type Fig8Data struct {
+	Panels map[string][]Fig8Series
+}
+
+// Fig8 reproduces Fig. 8: the stock libraries peak at ~16 cores; with
+// ARGO enabled both keep scaling, flattening only at the NUMA/UPI limit.
+// Each series is normalized to its own 4-core time, as in the paper.
+func Fig8(w io.Writer) (Fig8Data, error) {
+	data := Fig8Data{Panels: map[string][]Fig8Series{}}
+	fmt.Fprintln(w, "== Fig 8: library vs ARGO core scaling (ogbn-products) ==")
+	for _, lib := range []platsim.Profile{platsim.DGL, platsim.PyG} {
+		for _, plat := range platforms {
+			cores := coreSteps(plat.TotalCores())
+			panel := fmt.Sprintf("%s on %s", lib.Name, plat.Name)
+			var series []Fig8Series
+			for _, sm := range samplerModels {
+				setup := Setup{Lib: lib, Plat: plat, Sampler: sm.Sampler, Model: sm.Model, Dataset: "ogbn-products"}
+				sc := setup.Scenario()
+
+				base := Fig8Series{Label: lib.Name + "-" + setup.SamplerModel(), Cores: cores}
+				for _, c := range cores {
+					e, err := platsim.BaselineEpoch(sc, c)
+					if err != nil {
+						return data, err
+					}
+					base.EpochSec = append(base.EpochSec, e)
+					base.Speedup = append(base.Speedup, base.EpochSec[0]/e)
+				}
+				argo := Fig8Series{Label: "ARGO-" + setup.SamplerModel(), Cores: cores}
+				for _, c := range cores {
+					_, e := platsim.BestWithBudget(sc, c)
+					argo.EpochSec = append(argo.EpochSec, e)
+					argo.Speedup = append(argo.Speedup, argo.EpochSec[0]/e)
+				}
+				series = append(series, base, argo)
+			}
+			data.Panels[panel] = series
+
+			tb := tablefmt.New("Improvement of "+panel, append([]string{"series"}, intHeaders(cores)...)...)
+			for _, s := range series {
+				row := []string{s.Label}
+				for _, v := range s.Speedup {
+					row = append(row, tablefmt.Ratio(v))
+				}
+				tb.Add(row...)
+			}
+			io.WriteString(w, tb.String())
+			fmt.Fprintln(w)
+		}
+	}
+	return data, nil
+}
+
+func coreSteps(total int) []int {
+	steps := []int{4, 8, 16, 32, 64}
+	if total > 64 {
+		steps = append(steps, total)
+	}
+	return steps
+}

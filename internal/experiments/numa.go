@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+
+	"argo/internal/platform"
+	"argo/internal/platsim"
+	"argo/internal/tablefmt"
+)
+
+// NUMARow compares UPI-bound and NUMA-aware execution at one core budget.
+type NUMARow struct {
+	Cores         int
+	UPIBoundSec   float64
+	NUMAAwareSec  float64
+	Gain          float64
+	FeatureCopies int
+}
+
+// NUMAExtension evaluates the paper's §IX future-work proposal on the
+// simulator: replicating the feature store per socket removes the UPI
+// bottleneck that flattens ARGO past 64 cores on the four-socket machine,
+// at the cost of one feature copy per socket.
+func NUMAExtension(w io.Writer) ([]NUMARow, error) {
+	setup := Setup{Lib: platsim.DGL, Plat: platform.IceLake4S, Sampler: platsim.Neighbor, Model: platsim.SAGE, Dataset: "ogbn-products"}
+	sc := setup.Scenario()
+	var rows []NUMARow
+	for _, cores := range []int{32, 64, 112} {
+		cfg, _ := platsim.BestWithBudget(sc, cores)
+		base, err := platsim.Simulate(sc, platsim.SimConfig{
+			Procs: cfg.Procs, SampleCores: cfg.SampleCores, TrainCores: cfg.TrainCores, MaxIters: 40,
+		})
+		if err != nil {
+			return rows, err
+		}
+		aware, err := platsim.Simulate(sc, platsim.SimConfig{
+			Procs: cfg.Procs, SampleCores: cfg.SampleCores, TrainCores: cfg.TrainCores, MaxIters: 40, NUMAAware: true,
+		})
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, NUMARow{
+			Cores:         cores,
+			UPIBoundSec:   base.EpochSeconds,
+			NUMAAwareSec:  aware.EpochSeconds,
+			Gain:          base.EpochSeconds / aware.EpochSeconds,
+			FeatureCopies: base.SocketsUsed,
+		})
+	}
+	tb := tablefmt.New("§IX extension: NUMA-aware feature replication (ARGO best config per budget, NS-SAGE products, Ice Lake)",
+		"cores", "UPI-bound epoch (s)", "NUMA-aware epoch (s)", "gain", "feature copies")
+	for _, r := range rows {
+		tb.Addf(r.Cores, r.UPIBoundSec, r.NUMAAwareSec, tablefmt.Ratio(r.Gain), r.FeatureCopies)
+	}
+	_, err := io.WriteString(w, tb.String())
+	return rows, err
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRegistryMatchesTableIII(t *testing.T) {
+	want := map[string]PaperStats{
+		"flickr":          {89_250, 899_756, 500, 128, 7},
+		"reddit":          {232_965, 11_606_919, 602, 128, 41},
+		"ogbn-products":   {2_449_029, 61_859_140, 100, 128, 47},
+		"ogbn-papers100M": {111_059_956, 1_615_685_872, 128, 128, 172},
+	}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for _, spec := range Registry {
+		w, ok := want[spec.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", spec.Name)
+		}
+		if spec.Paper != w {
+			t.Fatalf("%s paper stats = %+v, want %+v", spec.Name, spec.Paper, w)
+		}
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	if _, err := Spec("reddit"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Spec("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	ds, err := BuildByName("flickr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumNodes != ds.Spec.ScaledNodes {
+		t.Fatalf("graph size %d != spec %d", ds.Graph.NumNodes, ds.Spec.ScaledNodes)
+	}
+	if ds.Features.Rows != ds.Spec.ScaledNodes || ds.Features.Cols != ds.Spec.ScaledF0 {
+		t.Fatalf("features %dx%d", ds.Features.Rows, ds.Features.Cols)
+	}
+	if len(ds.Labels) != ds.Spec.ScaledNodes {
+		t.Fatal("labels length mismatch")
+	}
+	total := len(ds.TrainIdx) + len(ds.ValIdx) + len(ds.TestIdx)
+	if total != ds.Spec.ScaledNodes {
+		t.Fatalf("splits cover %d of %d nodes", total, ds.Spec.ScaledNodes)
+	}
+	// Splits must be disjoint.
+	seen := make(map[NodeID]bool, total)
+	for _, set := range [][]NodeID{ds.TrainIdx, ds.ValIdx, ds.TestIdx} {
+		for _, v := range set {
+			if seen[v] {
+				t.Fatalf("node %d appears in two splits", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := BuildByName("ogbn-products", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildByName("ogbn-products", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed gave different graphs")
+	}
+	if a.Features.MaxAbsDiff(b.Features) != 0 {
+		t.Fatal("same seed gave different features")
+	}
+	for i := range a.TrainIdx {
+		if a.TrainIdx[i] != b.TrainIdx[i] {
+			t.Fatal("same seed gave different splits")
+		}
+	}
+}
+
+func TestFeaturesAreClassSeparable(t *testing.T) {
+	ds, err := BuildByName("flickr", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearest-centroid classification on raw features should beat chance
+	// by a wide margin — this is what makes convergence curves meaningful.
+	classes := ds.NumClasses
+	dim := ds.Features.Cols
+	centroids := make([][]float64, classes)
+	counts := make([]int, classes)
+	for c := range centroids {
+		centroids[c] = make([]float64, dim)
+	}
+	for v, c := range ds.Labels {
+		row := ds.Features.Row(v)
+		for j, x := range row {
+			centroids[c][j] += float64(x)
+		}
+		counts[c]++
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for v, lbl := range ds.Labels {
+		row := ds.Features.Row(v)
+		best, bestD := -1, 0.0
+		for c := range centroids {
+			var d float64
+			for j, x := range row {
+				diff := float64(x) - centroids[c][j]
+				d += diff * diff
+			}
+			if best < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if int32(best) == lbl {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(ds.Labels))
+	chance := 1.0 / float64(classes)
+	if acc < 3*chance {
+		t.Fatalf("nearest-centroid accuracy %.3f not separable (chance %.3f)", acc, chance)
+	}
+}
+
+func TestScaledSizesAreTestFriendly(t *testing.T) {
+	for _, spec := range Registry {
+		if spec.ScaledNodes > 10_000 || spec.ScaledEdges > 200_000 {
+			t.Fatalf("%s scaled instance too large for 1-core test runs", spec.Name)
+		}
+		if spec.ScaledClasses < 2 {
+			t.Fatalf("%s needs ≥2 classes", spec.Name)
+		}
+	}
+}

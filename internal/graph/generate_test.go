@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	g, labels, err := Generate(GenSpec{
+		NumNodes: 500, NumEdges: 3000, NumClasses: 5,
+		Exponent: 2.1, MinDegree: 2, Homophily: 0.6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 500 || len(labels) != 500 {
+		t.Fatalf("shape wrong: %d nodes, %d labels", g.NumNodes, len(labels))
+	}
+	// Symmetrized: roughly 2× the undirected target, minus dedup losses.
+	if g.NumEdges() < 3000 || g.NumEdges() > 6200 {
+		t.Fatalf("arc count %d outside plausible range", g.NumEdges())
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{NumNodes: 300, NumEdges: 1500, NumClasses: 4, Seed: 42, Homophily: 0.5}
+	g1, l1, err1 := Generate(spec)
+	g2, l2, err2 := Generate(spec)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed must give same edge count")
+	}
+	for i := range g1.Col {
+		if g1.Col[i] != g2.Col[i] {
+			t.Fatal("same seed must give identical topology")
+		}
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+}
+
+func TestGenerateSeedChangesGraph(t *testing.T) {
+	spec := GenSpec{NumNodes: 300, NumEdges: 1500, NumClasses: 4, Homophily: 0.5}
+	spec.Seed = 1
+	g1, _, _ := Generate(spec)
+	spec.Seed = 2
+	g2, _, _ := Generate(spec)
+	same := g1.NumEdges() == g2.NumEdges()
+	if same {
+		for i := range g1.Col {
+			if g1.Col[i] != g2.Col[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateHomophily(t *testing.T) {
+	g, labels, err := Generate(GenSpec{
+		NumNodes: 1000, NumEdges: 8000, NumClasses: 4,
+		Homophily: 0.8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, total int64
+	for v := 0; v < g.NumNodes; v++ {
+		for _, u := range g.Neighbors(NodeID(v)) {
+			total++
+			if labels[v] == labels[u] {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(total)
+	// Homophily 0.8 with 4 classes: intra fraction ≈ 0.8 + 0.2/4 = 0.85.
+	if frac < 0.7 {
+		t.Fatalf("intra-class edge fraction %.2f too low for homophily 0.8", frac)
+	}
+	// Sanity: a homophily-0 graph should be near 1/numClasses.
+	g0, l0, _ := Generate(GenSpec{NumNodes: 1000, NumEdges: 8000, NumClasses: 4, Homophily: 0, Seed: 3})
+	intra, total = 0, 0
+	for v := 0; v < g0.NumNodes; v++ {
+		for _, u := range g0.Neighbors(NodeID(v)) {
+			total++
+			if l0[v] == l0[u] {
+				intra++
+			}
+		}
+	}
+	if f0 := float64(intra) / float64(total); f0 > 0.4 {
+		t.Fatalf("homophily-0 intra fraction %.2f unexpectedly high", f0)
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	g, _, err := Generate(GenSpec{
+		NumNodes: 2000, NumEdges: 16000, NumClasses: 2,
+		Exponent: 2.0, MinDegree: 2, Homophily: 0.3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A power-law graph's max degree should far exceed its mean.
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("degree distribution not heavy-tailed: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	if _, _, err := Generate(GenSpec{NumNodes: 0, NumEdges: 10}); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+	if _, _, err := Generate(GenSpec{NumNodes: 10, NumEdges: 0}); err == nil {
+		t.Fatal("expected error for 0 edges")
+	}
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	s := newAliasSampler(weights)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("alias sampler index %d: got %.3f want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSamplerUniform(t *testing.T) {
+	s := newAliasSampler([]float64{5, 5})
+	rng := rand.New(rand.NewSource(6))
+	c := 0
+	for i := 0; i < 10000; i++ {
+		c += s.Sample(rng)
+	}
+	if c < 4500 || c > 5500 {
+		t.Fatalf("uniform sampler biased: %d/10000", c)
+	}
+}

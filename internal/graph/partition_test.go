@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testGraph(t *testing.T) *CSR {
+	t.Helper()
+	g, _, err := Generate(GenSpec{
+		NumNodes: 800, NumEdges: 6000, NumClasses: 4,
+		Homophily: 0.7, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRandomPartitionValid(t *testing.T) {
+	g := testGraph(t)
+	p := RandomPartition(g, 4, rand.New(rand.NewSource(1)))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(g); b > 1.25 {
+		t.Fatalf("random partition badly imbalanced: %.2f", b)
+	}
+}
+
+func TestGreedyPartitionValidAndBalanced(t *testing.T) {
+	g := testGraph(t)
+	p := GreedyPartition(g, 4, rand.New(rand.NewSource(2)))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Balance(g); b > 1.15 {
+		t.Fatalf("greedy partition imbalance %.2f exceeds 1.15", b)
+	}
+}
+
+// The §VII-A trade-off: the METIS-style partitioner must achieve a lower
+// edge cut than random splitting.
+func TestGreedyBeatsRandomEdgeCut(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(3))
+	randomCut := RandomPartition(g, 4, rng).EdgeCut(g)
+	greedyCut := GreedyPartition(g, 4, rng).EdgeCut(g)
+	if greedyCut >= randomCut {
+		t.Fatalf("greedy cut %d not below random cut %d", greedyCut, randomCut)
+	}
+}
+
+func TestEdgeCutBounds(t *testing.T) {
+	g := testGraph(t)
+	p := RandomPartition(g, 2, rand.New(rand.NewSource(4)))
+	cut := p.EdgeCut(g)
+	if cut < 0 || cut > g.NumEdges() {
+		t.Fatalf("edge cut %d out of [0, %d]", cut, g.NumEdges())
+	}
+	// Single part: no cut at all.
+	p1 := RandomPartition(g, 1, rand.New(rand.NewSource(5)))
+	if p1.EdgeCut(g) != 0 {
+		t.Fatal("k=1 partition must have zero edge cut")
+	}
+}
+
+func TestPartitionValidateCatchesBadAssignment(t *testing.T) {
+	g := testGraph(t)
+	p := RandomPartition(g, 2, rand.New(rand.NewSource(6)))
+	p.Assign[0] = 9
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate must reject out-of-range part")
+	}
+}

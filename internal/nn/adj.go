@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"argo/internal/graph"
+	"argo/internal/sampler"
+)
+
+// Adj is the adjacency view GNN layers aggregate over. Both sampled-block
+// (Neighbor Sampling) and induced-subgraph (ShaDow) batches satisfy it.
+// By construction the destination nodes are a prefix of the source nodes,
+// so x[:NumDst] is always the destinations' own previous-layer state.
+type Adj interface {
+	NumDst() int
+	NumSrc() int
+	// Neighbors returns the local source indices aggregated by local
+	// destination i.
+	Neighbors(i int) []int32
+	// SrcGlobal and DstGlobal map local indices to global node IDs
+	// (used for degree-based GCN normalisation).
+	SrcGlobal(j int) graph.NodeID
+	DstGlobal(i int) graph.NodeID
+}
+
+// BlockAdj adapts a sampler.Block to the Adj interface.
+type BlockAdj struct{ B *sampler.Block }
+
+// NumDst implements Adj.
+func (a BlockAdj) NumDst() int { return a.B.NumDst }
+
+// NumSrc implements Adj.
+func (a BlockAdj) NumSrc() int { return a.B.NumSrc() }
+
+// Neighbors implements Adj.
+func (a BlockAdj) Neighbors(i int) []int32 { return a.B.Neighbors(i) }
+
+// SrcGlobal implements Adj.
+func (a BlockAdj) SrcGlobal(j int) graph.NodeID { return a.B.SrcNodes[j] }
+
+// DstGlobal implements Adj.
+func (a BlockAdj) DstGlobal(i int) graph.NodeID { return a.B.SrcNodes[i] }
+
+// SubAdj adapts a sampler.Subgraph to the Adj interface: every subgraph
+// node is both a source and a destination at every layer.
+type SubAdj struct{ S *sampler.Subgraph }
+
+// NumDst implements Adj.
+func (a SubAdj) NumDst() int { return len(a.S.Nodes) }
+
+// NumSrc implements Adj.
+func (a SubAdj) NumSrc() int { return len(a.S.Nodes) }
+
+// Neighbors implements Adj.
+func (a SubAdj) Neighbors(i int) []int32 { return a.S.Neighbors(i) }
+
+// SrcGlobal implements Adj.
+func (a SubAdj) SrcGlobal(j int) graph.NodeID { return a.S.Nodes[j] }
+
+// DstGlobal implements Adj.
+func (a SubAdj) DstGlobal(i int) graph.NodeID { return a.S.Nodes[i] }

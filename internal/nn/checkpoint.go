@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpointState is the serialised form of a model's parameters.
+type checkpointState struct {
+	Kind   ModelKind
+	Dims   []int
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float32
+}
+
+// SaveCheckpoint writes the model's parameters to w in a self-describing
+// binary format (gob). The auto-tuner's re-launch flow and long-running
+// training jobs use this to persist weights across process boundaries.
+func (m *GNN) SaveCheckpoint(w io.Writer) error {
+	st := checkpointState{Kind: m.Spec.Kind, Dims: m.Spec.Dims}
+	for _, p := range m.Params() {
+		st.Names = append(st.Names, p.Name)
+		st.Shapes = append(st.Shapes, [2]int{p.W.Rows, p.W.Cols})
+		data := make([]float32, len(p.W.Data))
+		copy(data, p.W.Data)
+		st.Data = append(st.Data, data)
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadCheckpoint restores parameters previously written by SaveCheckpoint
+// into the model. The architecture (kind and dims) must match.
+func (m *GNN) LoadCheckpoint(r io.Reader) error {
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if st.Kind != m.Spec.Kind {
+		return fmt.Errorf("nn: checkpoint is a %s model, this is %s", st.Kind, m.Spec.Kind)
+	}
+	if len(st.Dims) != len(m.Spec.Dims) {
+		return fmt.Errorf("nn: checkpoint has %d dims, model has %d", len(st.Dims), len(m.Spec.Dims))
+	}
+	for i, d := range st.Dims {
+		if m.Spec.Dims[i] != d {
+			return fmt.Errorf("nn: checkpoint dim %d is %d, model has %d", i, d, m.Spec.Dims[i])
+		}
+	}
+	params := m.Params()
+	if len(st.Data) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", len(st.Data), len(params))
+	}
+	for i, p := range params {
+		if st.Shapes[i] != [2]int{p.W.Rows, p.W.Cols} {
+			return fmt.Errorf("nn: checkpoint tensor %d shape %v, want %dx%d", i, st.Shapes[i], p.W.Rows, p.W.Cols)
+		}
+		if len(st.Data[i]) != len(p.W.Data) {
+			return fmt.Errorf("nn: checkpoint tensor %d has %d values", i, len(st.Data[i]))
+		}
+		copy(p.W.Data, st.Data[i])
+	}
+	return nil
+}
+
+// CheckpointBytes is a convenience wrapper returning the serialised model.
+func (m *GNN) CheckpointBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WeightsEqual reports whether two models have bit-identical parameters.
+func WeightsEqual(a, b *GNN) bool {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i].W.Rows != pb[i].W.Rows || pa[i].W.Cols != pb[i].W.Cols {
+			return false
+		}
+		if pa[i].W.MaxAbsDiff(pb[i].W) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func checkpointModel(t *testing.T, seed int64) *GNN {
+	t.Helper()
+	m, err := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{6, 8, 3}, Seed: seed}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := checkpointModel(t, 1)
+	// Perturb so we are not just round-tripping the seed.
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range src.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] += float32(rng.NormFloat64())
+		}
+	}
+	blob, err := src.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointModel(t, 99) // different init
+	if WeightsEqual(src, dst) {
+		t.Fatal("models should differ before restore")
+	}
+	if err := dst.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if !WeightsEqual(src, dst) {
+		t.Fatal("restore did not reproduce the weights")
+	}
+}
+
+func TestCheckpointRejectsArchMismatch(t *testing.T) {
+	src := checkpointModel(t, 1)
+	blob, err := src.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcn, err := NewModel(ModelSpec{Kind: KindGCN, Dims: []int{6, 8, 3}, Seed: 1}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gcn.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Fatal("kind mismatch must be rejected")
+	}
+	wide, err := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{6, 16, 3}, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Fatal("dim mismatch must be rejected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := checkpointModel(t, 1)
+	if err := m.LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestWeightsEqual(t *testing.T) {
+	a := checkpointModel(t, 5)
+	b := checkpointModel(t, 5)
+	if !WeightsEqual(a, b) {
+		t.Fatal("same-seed models must be equal")
+	}
+	b.Params()[0].W.Data[0] += 1
+	if WeightsEqual(a, b) {
+		t.Fatal("perturbed models must differ")
+	}
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math/rand"
+
+	"argo/internal/tensor"
+)
+
+// GINLayer implements the Graph Isomorphism Network layer (Xu et al.,
+// GIN-0 variant) as a model-zoo extension beyond the paper's GCN/SAGE
+// pair:
+//
+//	a_v = (1+ε)·h_v + Σ_{u∈N(v)} h_u
+//	h'_v = ReLU(a_v·W + b)
+//
+// Sum aggregation (no degree normalisation) gives GIN its injectivity;
+// Epsilon weighs the self contribution (0 in the common GIN-0 setting).
+type GINLayer struct {
+	InDim, OutDim int
+	Relu          bool
+	Epsilon       float32
+	Weight        *Param
+	Bias          *Param
+
+	x   *tensor.Matrix
+	agg *tensor.Matrix
+	out *tensor.Matrix
+}
+
+// NewGINLayer constructs a GIN-0 layer with Xavier-initialised weights.
+func NewGINLayer(rng *rand.Rand, inDim, outDim int, relu bool) *GINLayer {
+	l := &GINLayer{
+		InDim: inDim, OutDim: outDim, Relu: relu,
+		Weight: NewParam("gin.weight", inDim, outDim),
+		Bias:   NewParam("gin.bias", 1, outDim),
+	}
+	XavierUniform(rng, l.Weight)
+	return l
+}
+
+// Params implements Layer.
+func (l *GINLayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *GINLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	l.x = x
+	l.agg = tensor.New(numDst, l.InDim)
+	selfW := 1 + l.Epsilon
+	pool.ParallelRange(numDst, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := l.agg.Row(i)
+			self := x.Row(i)
+			for k, v := range self {
+				row[k] = v * selfW
+			}
+			for _, j := range adj.Neighbors(i) {
+				src := x.Row(int(j))
+				for k, v := range src {
+					row[k] += v
+				}
+			}
+		}
+	})
+	l.out = tensor.New(numDst, l.OutDim)
+	tensor.MatMul(pool, l.out, l.agg, l.Weight.W)
+	tensor.AddRowVector(l.out, l.Bias.W.Data)
+	if l.Relu {
+		tensor.ReLU(l.out, l.out)
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *GINLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	dZ := dOut
+	if l.Relu {
+		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		tensor.ReLUBackward(dZ, dOut, l.out)
+	}
+	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	tensor.MatMulAT(pool, dW, l.agg, dZ)
+	tensor.Add(l.Weight.Grad, dW)
+	db := make([]float32, l.OutDim)
+	tensor.ColSum(db, dZ)
+	for k, v := range db {
+		l.Bias.Grad.Data[k] += v
+	}
+	dAgg := tensor.New(numDst, l.InDim)
+	tensor.MatMulBT(pool, dAgg, dZ, l.Weight.W)
+	dX := tensor.New(adj.NumSrc(), l.InDim)
+	selfW := 1 + l.Epsilon
+	for i := 0; i < numDst; i++ {
+		dRow := dAgg.Row(i)
+		self := dX.Row(i)
+		for k, v := range dRow {
+			self[k] += v * selfW
+		}
+		for _, j := range adj.Neighbors(i) {
+			dst := dX.Row(int(j))
+			for k, v := range dRow {
+				dst[k] += v
+			}
+		}
+	}
+	return dX
+}

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"argo/internal/tensor"
+)
+
+// Layer is one GNN layer: Forward caches whatever Backward needs, so each
+// layer instance belongs to exactly one model replica and processes one
+// batch at a time (matching how the training engine drives it).
+type Layer interface {
+	Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix
+	// Backward consumes the gradient w.r.t. the layer output and returns
+	// the gradient w.r.t. the layer input, accumulating parameter grads.
+	Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// SAGELayer implements GraphSAGE (paper Eq. 2 and 3):
+//
+//	a_v = h_v ∥ Mean({h_u : u ∈ N(v)})
+//	h'_v = ReLU(a_v·W + b)
+//
+// The concatenated input has width 2·inDim. ReLU is skipped on the output
+// layer (Relu=false).
+type SAGELayer struct {
+	InDim, OutDim int
+	Relu          bool
+	Weight        *Param // 2·InDim × OutDim
+	Bias          *Param // 1 × OutDim
+
+	// cached activations from the last Forward
+	x      *tensor.Matrix // layer input (numSrc × InDim)
+	concat *tensor.Matrix // numDst × 2·InDim
+	out    *tensor.Matrix // numDst × OutDim (post-activation)
+}
+
+// NewSAGELayer constructs a GraphSAGE layer with Xavier-initialised
+// weights.
+func NewSAGELayer(rng *rand.Rand, inDim, outDim int, relu bool) *SAGELayer {
+	l := &SAGELayer{
+		InDim: inDim, OutDim: outDim, Relu: relu,
+		Weight: NewParam("sage.weight", 2*inDim, outDim),
+		Bias:   NewParam("sage.bias", 1, outDim),
+	}
+	XavierUniform(rng, l.Weight)
+	return l
+}
+
+// Params implements Layer.
+func (l *SAGELayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *SAGELayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	l.x = x
+	l.concat = tensor.New(numDst, 2*l.InDim)
+	in := l.InDim
+	pool.ParallelRange(numDst, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := l.concat.Row(i)
+			// Self half: destination's own previous-layer state (dst is a
+			// prefix of src, so row i of x is destination i).
+			copy(row[:in], x.Row(i))
+			// Neighbour half: mean aggregation.
+			nbrs := adj.Neighbors(i)
+			if len(nbrs) == 0 {
+				continue
+			}
+			agg := row[in:]
+			for _, j := range nbrs {
+				src := x.Row(int(j))
+				for k, v := range src {
+					agg[k] += v
+				}
+			}
+			invDeg := float32(1) / float32(len(nbrs))
+			for k := range agg {
+				agg[k] *= invDeg
+			}
+		}
+	})
+	l.out = tensor.New(numDst, l.OutDim)
+	tensor.MatMul(pool, l.out, l.concat, l.Weight.W)
+	tensor.AddRowVector(l.out, l.Bias.W.Data)
+	if l.Relu {
+		tensor.ReLU(l.out, l.out)
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *SAGELayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	dZ := dOut
+	if l.Relu {
+		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		tensor.ReLUBackward(dZ, dOut, l.out)
+	}
+	// Parameter gradients.
+	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	tensor.MatMulAT(pool, dW, l.concat, dZ)
+	tensor.Add(l.Weight.Grad, dW)
+	db := make([]float32, l.OutDim)
+	tensor.ColSum(db, dZ)
+	for k, v := range db {
+		l.Bias.Grad.Data[k] += v
+	}
+	// Input gradient through the concat.
+	dConcat := tensor.New(numDst, 2*l.InDim)
+	tensor.MatMulBT(pool, dConcat, dZ, l.Weight.W)
+	dX := tensor.New(adj.NumSrc(), l.InDim)
+	in := l.InDim
+	// Self half maps straight onto the dst prefix; the neighbour half
+	// scatter-adds through the mean. The scatter runs serially because
+	// multiple destinations may share a source row.
+	for i := 0; i < numDst; i++ {
+		dRow := dConcat.Row(i)
+		self := dX.Row(i)
+		for k := 0; k < in; k++ {
+			self[k] += dRow[k]
+		}
+		nbrs := adj.Neighbors(i)
+		if len(nbrs) == 0 {
+			continue
+		}
+		invDeg := float32(1) / float32(len(nbrs))
+		dAgg := dRow[in:]
+		for _, j := range nbrs {
+			dst := dX.Row(int(j))
+			for k, v := range dAgg {
+				dst[k] += v * invDeg
+			}
+		}
+	}
+	return dX
+}
+
+// GCNLayer implements the graph convolutional layer (paper Eq. 1 and 3)
+// with the standard self-loop-augmented symmetric normalisation:
+//
+//	a_v = Σ_{u∈N(v)} h_u / sqrt((D(v)+1)(D(u)+1)) + h_v / (D(v)+1)
+//	h'_v = ReLU(a_v·W + b)
+//
+// D are *global* graph degrees (supplied at construction), matching how
+// sampled-GCN implementations normalise: the sampled block is an unbiased
+// structural sample but the normalisation constants come from the graph.
+type GCNLayer struct {
+	InDim, OutDim int
+	Relu          bool
+	Weight        *Param
+	Bias          *Param
+	InvSqrtDeg    []float32 // 1/sqrt(D(v)+1) indexed by global node ID
+
+	x   *tensor.Matrix
+	agg *tensor.Matrix
+	out *tensor.Matrix
+}
+
+// NewGCNLayer constructs a GCN layer. degrees must hold the global degree
+// of every node in the training graph.
+func NewGCNLayer(rng *rand.Rand, inDim, outDim int, relu bool, degrees []int) *GCNLayer {
+	l := &GCNLayer{
+		InDim: inDim, OutDim: outDim, Relu: relu,
+		Weight:     NewParam("gcn.weight", inDim, outDim),
+		Bias:       NewParam("gcn.bias", 1, outDim),
+		InvSqrtDeg: make([]float32, len(degrees)),
+	}
+	for v, d := range degrees {
+		l.InvSqrtDeg[v] = float32(1 / math.Sqrt(float64(d)+1))
+	}
+	XavierUniform(rng, l.Weight)
+	return l
+}
+
+// Params implements Layer.
+func (l *GCNLayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *GCNLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	l.x = x
+	l.agg = tensor.New(numDst, l.InDim)
+	pool.ParallelRange(numDst, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := l.InvSqrtDeg[adj.DstGlobal(i)]
+			row := l.agg.Row(i)
+			// Self term: h_v/(D(v)+1) = c_v · c_v · h_v.
+			self := x.Row(i)
+			cSelf := ci * ci
+			for k, v := range self {
+				row[k] = v * cSelf
+			}
+			for _, j := range adj.Neighbors(i) {
+				c := ci * l.InvSqrtDeg[adj.SrcGlobal(int(j))]
+				src := x.Row(int(j))
+				for k, v := range src {
+					row[k] += v * c
+				}
+			}
+		}
+	})
+	l.out = tensor.New(numDst, l.OutDim)
+	tensor.MatMul(pool, l.out, l.agg, l.Weight.W)
+	tensor.AddRowVector(l.out, l.Bias.W.Data)
+	if l.Relu {
+		tensor.ReLU(l.out, l.out)
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *GCNLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	dZ := dOut
+	if l.Relu {
+		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		tensor.ReLUBackward(dZ, dOut, l.out)
+	}
+	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	tensor.MatMulAT(pool, dW, l.agg, dZ)
+	tensor.Add(l.Weight.Grad, dW)
+	db := make([]float32, l.OutDim)
+	tensor.ColSum(db, dZ)
+	for k, v := range db {
+		l.Bias.Grad.Data[k] += v
+	}
+	dAgg := tensor.New(numDst, l.InDim)
+	tensor.MatMulBT(pool, dAgg, dZ, l.Weight.W)
+	dX := tensor.New(adj.NumSrc(), l.InDim)
+	for i := 0; i < numDst; i++ {
+		ci := l.InvSqrtDeg[adj.DstGlobal(i)]
+		dRow := dAgg.Row(i)
+		self := dX.Row(i)
+		cSelf := ci * ci
+		for k, v := range dRow {
+			self[k] += v * cSelf
+		}
+		for _, j := range adj.Neighbors(i) {
+			c := ci * l.InvSqrtDeg[adj.SrcGlobal(int(j))]
+			dst := dX.Row(int(j))
+			for k, v := range dRow {
+				dst[k] += v * c
+			}
+		}
+	}
+	return dX
+}

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"argo/internal/graph"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+// ModelKind selects the GNN architecture.
+type ModelKind string
+
+// KindSAGE and KindGCN are the two architectures the paper evaluates;
+// KindGIN is a model-zoo extension (Graph Isomorphism Network, GIN-0).
+const (
+	KindSAGE ModelKind = "sage"
+	KindGCN  ModelKind = "gcn"
+	KindGIN  ModelKind = "gin"
+)
+
+// ModelSpec describes a GNN model instance: architecture and layer
+// dimensions. Dims has length L+1: input feature length, hidden widths,
+// and the class count (the paper uses [f0, 128, 128, classes]).
+type ModelSpec struct {
+	Kind ModelKind
+	Dims []int
+	Seed int64
+}
+
+// GNN is a multi-layer GNN model replica. It owns its parameters and the
+// per-batch activation cache (each layer caches its own inputs), so each
+// ARGO process uses its own replica.
+type GNN struct {
+	Spec   ModelSpec
+	Layers []Layer
+
+	// cached between Forward and Backward
+	lastBatch *sampler.MiniBatch
+}
+
+// NewModel builds a GNN replica. Replicas built with equal specs (same
+// seed) have bit-identical initial parameters — the property the
+// multi-process engine relies on. degrees is required for KindGCN
+// (global degree array) and ignored for KindSAGE.
+func NewModel(spec ModelSpec, degrees []int) (*GNN, error) {
+	if len(spec.Dims) < 2 {
+		return nil, fmt.Errorf("nn: model needs at least 2 dims, got %v", spec.Dims)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	m := &GNN{Spec: spec}
+	numLayers := len(spec.Dims) - 1
+	for l := 0; l < numLayers; l++ {
+		relu := l < numLayers-1
+		switch spec.Kind {
+		case KindSAGE:
+			m.Layers = append(m.Layers, NewSAGELayer(rng, spec.Dims[l], spec.Dims[l+1], relu))
+		case KindGCN:
+			if degrees == nil {
+				return nil, fmt.Errorf("nn: GCN model requires global degrees")
+			}
+			m.Layers = append(m.Layers, NewGCNLayer(rng, spec.Dims[l], spec.Dims[l+1], relu, degrees))
+		case KindGIN:
+			m.Layers = append(m.Layers, NewGINLayer(rng, spec.Dims[l], spec.Dims[l+1], relu))
+		default:
+			return nil, fmt.Errorf("nn: unknown model kind %q", spec.Kind)
+		}
+	}
+	return m, nil
+}
+
+// NumLayers returns the model depth.
+func (m *GNN) NumLayers() int { return len(m.Layers) }
+
+// Params returns all trainable parameters in a stable order.
+func (m *GNN) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (m *GNN) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the model on a sampled batch. x0 must hold the gathered
+// input features for mb.InputNodes() (one row per input node, in order).
+// It returns the logits for the batch targets.
+func (m *GNN) Forward(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matrix) *tensor.Matrix {
+	m.lastBatch = mb
+	x := x0
+	if mb.Sub != nil {
+		adj := SubAdj{S: mb.Sub}
+		for _, l := range m.Layers {
+			x = l.Forward(pool, adj, x)
+		}
+		// Readout: the first NumTargets subgraph rows are the targets.
+		nt := mb.Sub.NumTargets
+		return tensor.FromSlice(nt, x.Cols, x.Data[:nt*x.Cols])
+	}
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	for li, l := range m.Layers {
+		x = l.Forward(pool, BlockAdj{B: &mb.Blocks[li]}, x)
+	}
+	return x
+}
+
+// Backward propagates dLogits (gradient w.r.t. Forward's return value)
+// through the model, accumulating parameter gradients. It returns the
+// gradient w.r.t. the gathered input features (rarely needed; exposed for
+// testing).
+func (m *GNN) Backward(pool *tensor.Pool, dLogits *tensor.Matrix) *tensor.Matrix {
+	mb := m.lastBatch
+	if mb == nil {
+		panic("nn: Backward before Forward")
+	}
+	var grad *tensor.Matrix
+	if mb.Sub != nil {
+		// Expand target-row gradients to the full subgraph width.
+		adj := SubAdj{S: mb.Sub}
+		full := tensor.New(len(mb.Sub.Nodes), dLogits.Cols)
+		copy(full.Data[:dLogits.Rows*dLogits.Cols], dLogits.Data)
+		grad = full
+		for li := len(m.Layers) - 1; li >= 0; li-- {
+			grad = m.Layers[li].Backward(pool, adj, grad)
+		}
+		return grad
+	}
+	grad = dLogits
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		grad = m.Layers[li].Backward(pool, BlockAdj{B: &mb.Blocks[li]}, grad)
+	}
+	return grad
+}
+
+// Gather copies the feature rows of ids from feats into a new matrix —
+// the memory-bound index_select the paper's Fig. 2 highlights.
+func Gather(feats *tensor.Matrix, ids []graph.NodeID) *tensor.Matrix {
+	out := tensor.New(len(ids), feats.Cols)
+	for i, v := range ids {
+		copy(out.Row(i), feats.Row(int(v)))
+	}
+	return out
+}
+
+// Degrees extracts the global degree array a GCN model needs.
+func Degrees(g *graph.CSR) []int {
+	d := make([]int, g.NumNodes)
+	for v := range d {
+		d[v] = g.Degree(graph.NodeID(v))
+	}
+	return d
+}

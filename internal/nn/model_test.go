@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{5}}, nil); err == nil {
+		t.Fatal("expected error for too-short dims")
+	}
+	if _, err := NewModel(ModelSpec{Kind: KindGCN, Dims: []int{5, 3}}, nil); err == nil {
+		t.Fatal("GCN without degrees must error")
+	}
+	if _, err := NewModel(ModelSpec{Kind: "mlp", Dims: []int{5, 3}}, nil); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestModelReplicaDeterminism(t *testing.T) {
+	spec := ModelSpec{Kind: KindSAGE, Dims: []int{4, 8, 3}, Seed: 42}
+	a, err := NewModel(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewModel(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) || len(pa) != 4 { // 2 layers × (W, b)
+		t.Fatalf("param counts: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].W.MaxAbsDiff(pb[i].W) != 0 {
+			t.Fatalf("param %d differs across replicas with same seed", i)
+		}
+	}
+	c, _ := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{4, 8, 3}, Seed: 43}, nil)
+	if pa[0].W.MaxAbsDiff(c.Params()[0].W) == 0 {
+		t.Fatal("different seeds must give different init")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	g, _, err := graph.Generate(graph.GenSpec{NumNodes: 60, NumEdges: 400, NumClasses: 3, Seed: 3, Homophily: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	feats := tensor.New(g.NumNodes, 6)
+	targets := []graph.NodeID{0, 2, 4}
+
+	ns := sampler.NewNeighbor(g, []int{3, 3})
+	mb := ns.Sample(rng, targets)
+	m, _ := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{6, 5, 4}, Seed: 5}, nil)
+	out := m.Forward(tensor.NewPool(1), mb, Gather(feats, mb.InputNodes()))
+	if out.Rows != 3 || out.Cols != 4 {
+		t.Fatalf("neighbor forward shape %dx%d, want 3x4", out.Rows, out.Cols)
+	}
+
+	sh := sampler.NewShaDow(g, []int{3, 2}, 2)
+	mbs := sh.Sample(rng, targets)
+	out2 := m.Forward(tensor.NewPool(1), mbs, Gather(feats, mbs.InputNodes()))
+	if out2.Rows != 3 || out2.Cols != 4 {
+		t.Fatalf("shadow forward shape %dx%d, want 3x4", out2.Rows, out2.Cols)
+	}
+}
+
+func TestForwardBlockLayerMismatchPanics(t *testing.T) {
+	g, _, _ := graph.Generate(graph.GenSpec{NumNodes: 30, NumEdges: 150, NumClasses: 2, Seed: 6, Homophily: 0.5})
+	rng := rand.New(rand.NewSource(7))
+	ns := sampler.NewNeighbor(g, []int{3}) // one block
+	mb := ns.Sample(rng, []graph.NodeID{1})
+	m, _ := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{4, 5, 2}, Seed: 8}, nil) // two layers
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on block/layer mismatch")
+		}
+	}()
+	m.Forward(tensor.NewPool(1), mb, tensor.New(mb.Blocks[0].NumSrc(), 4))
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	m, _ := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{4, 2}, Seed: 1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Backward(tensor.NewPool(1), tensor.New(1, 2))
+}
+
+func TestGather(t *testing.T) {
+	feats := tensor.FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	out := Gather(feats, []graph.NodeID{2, 0})
+	want := []float32{5, 6, 1, 2}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("Gather = %v", out.Data)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Degrees(g)
+	if d[0] != 2 || d[1] != 0 || d[2] != 0 {
+		t.Fatalf("Degrees = %v", d)
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	m, _ := NewModel(ModelSpec{Kind: KindSAGE, Dims: []int{3, 2}, Seed: 2}, nil)
+	m.Params()[0].Grad.Fill(5)
+	m.ZeroGrad()
+	for _, p := range m.Params() {
+		for _, v := range p.Grad.Data {
+			if v != 0 {
+				t.Fatal("ZeroGrad left residue")
+			}
+		}
+	}
+}

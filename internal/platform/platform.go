@@ -1,0 +1,201 @@
+// Package platform encodes the two evaluation machines from the paper's
+// Table II and provides the virtual-core allocator the Core-Binder uses.
+// The machines are *models*: the reproduction runs on commodity hardware,
+// so the specs parameterise the discrete-event simulator in
+// internal/platsim rather than describe the host.
+package platform
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Spec describes a multi-socket machine (paper Table II, plus the derived
+// microarchitectural constants the simulator needs).
+type Spec struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	FreqGHz        float64
+	LLCMB          float64
+	MemGB          int
+	// PeakBWGBs is the aggregate DRAM bandwidth across all sockets.
+	PeakBWGBs float64
+	// UPIGBs is the total cross-socket interconnect bandwidth (Table II
+	// context; the simulator folds its effect into NUMAPenalty).
+	UPIGBs float64
+	// NUMAPenalty scales the bandwidth lost to remote (UPI) accesses:
+	// with data interleaved over k sockets, a fraction (k−1)/k of traffic
+	// crosses sockets and effective bandwidth becomes
+	// socketBW·k / (1 + (k−1)/k · NUMAPenalty). This is the effect that
+	// flattens ARGO's scaling past 64 cores on the four-socket machine
+	// (paper §IX).
+	NUMAPenalty float64
+	// PerCoreBWGBs is the DRAM bandwidth one core can sustain on the
+	// mixed streaming/irregular access patterns of GNN training.
+	PerCoreBWGBs float64
+}
+
+// TotalCores returns Sockets × CoresPerSocket.
+func (s Spec) TotalCores() int { return s.Sockets * s.CoresPerSocket }
+
+// SocketBWGBs returns one socket's DRAM bandwidth.
+func (s Spec) SocketBWGBs() float64 { return s.PeakBWGBs / float64(s.Sockets) }
+
+// EffectiveBW returns the platform bandwidth available to workloads whose
+// cores span the given number of sockets: the local bandwidth of those
+// sockets, discounted by the NUMA penalty on the remote-access fraction.
+// It is monotone in socketsUsed but sub-linear — the §IX UPI bottleneck.
+func (s Spec) EffectiveBW(socketsUsed int) float64 {
+	if socketsUsed < 1 {
+		socketsUsed = 1
+	}
+	if socketsUsed > s.Sockets {
+		socketsUsed = s.Sockets
+	}
+	bw := s.SocketBWGBs() * float64(socketsUsed)
+	remoteFrac := float64(socketsUsed-1) / float64(socketsUsed)
+	return bw / (1 + remoteFrac*s.NUMAPenalty)
+}
+
+// IceLake4S models the paper's four-socket Intel Xeon 8380H machine.
+var IceLake4S = Spec{
+	Name:           "Ice Lake 8380H (4S)",
+	Sockets:        4,
+	CoresPerSocket: 28,
+	FreqGHz:        2.9,
+	LLCMB:          154,
+	MemGB:          384,
+	PeakBWGBs:      275,
+	UPIGBs:         125,
+	NUMAPenalty:    0.8,
+	PerCoreBWGBs:   13,
+}
+
+// SapphireRapids2S models the paper's two-socket Intel Xeon 6430L machine.
+var SapphireRapids2S = Spec{
+	Name:           "Sapphire Rapids 6430L (2S)",
+	Sockets:        2,
+	CoresPerSocket: 32,
+	FreqGHz:        2.1,
+	LLCMB:          120,
+	MemGB:          1024,
+	PeakBWGBs:      563,
+	UPIGBs:         250,
+	NUMAPenalty:    0.35,
+	PerCoreBWGBs:   12,
+}
+
+// CoreID identifies one virtual core.
+type CoreID int
+
+// Allocator hands out disjoint virtual cores, socket-contiguously — the
+// placement the Core-Binder requests so each GNN process's memory stays
+// mostly socket-local. It is safe for concurrent use.
+type Allocator struct {
+	spec Spec
+	mu   sync.Mutex
+	used []bool
+}
+
+// NewAllocator returns an allocator over all cores of spec.
+func NewAllocator(spec Spec) *Allocator {
+	return &Allocator{spec: spec, used: make([]bool, spec.TotalCores())}
+}
+
+// Spec returns the machine description.
+func (a *Allocator) Spec() Spec { return a.spec }
+
+// Free returns how many cores are unallocated.
+func (a *Allocator) Free() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, u := range a.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocate reserves k cores, preferring a contiguous run within one
+// socket, falling back to the lowest-numbered free cores.
+func (a *Allocator) Allocate(k int) ([]CoreID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("platform: allocate %d cores", k)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// First pass: contiguous run inside a single socket.
+	per := a.spec.CoresPerSocket
+	if k <= per {
+		for s := 0; s < a.spec.Sockets; s++ {
+			base := s * per
+			run := 0
+			for i := 0; i < per; i++ {
+				if a.used[base+i] {
+					run = 0
+					continue
+				}
+				run++
+				if run == k {
+					out := make([]CoreID, k)
+					for j := 0; j < k; j++ {
+						idx := base + i - k + 1 + j
+						a.used[idx] = true
+						out[j] = CoreID(idx)
+					}
+					return out, nil
+				}
+			}
+		}
+	}
+	// Fallback: any free cores.
+	var out []CoreID
+	for i, u := range a.used {
+		if !u {
+			out = append(out, CoreID(i))
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	if len(out) < k {
+		return nil, fmt.Errorf("platform: %d cores requested, %d free", k, len(out))
+	}
+	for _, c := range out {
+		a.used[c] = true
+	}
+	return out, nil
+}
+
+// Release returns cores to the pool. Releasing a free core is an error.
+func (a *Allocator) Release(cores []CoreID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range cores {
+		if c < 0 || int(c) >= len(a.used) {
+			return fmt.Errorf("platform: release invalid core %d", c)
+		}
+		if !a.used[c] {
+			return fmt.Errorf("platform: double release of core %d", c)
+		}
+	}
+	for _, c := range cores {
+		a.used[c] = false
+	}
+	return nil
+}
+
+// SocketOf returns the socket a core belongs to.
+func (a *Allocator) SocketOf(c CoreID) int { return int(c) / a.spec.CoresPerSocket }
+
+// SocketsSpanned counts the distinct sockets covered by cores.
+func (a *Allocator) SocketsSpanned(cores []CoreID) int {
+	seen := map[int]bool{}
+	for _, c := range cores {
+		seen[a.SocketOf(c)] = true
+	}
+	return len(seen)
+}

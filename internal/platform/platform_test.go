@@ -1,0 +1,114 @@
+package platform
+
+import "testing"
+
+func TestSpecsMatchTableII(t *testing.T) {
+	if IceLake4S.TotalCores() != 112 || IceLake4S.Sockets != 4 {
+		t.Fatalf("Ice Lake: %d cores, %d sockets", IceLake4S.TotalCores(), IceLake4S.Sockets)
+	}
+	if IceLake4S.PeakBWGBs != 275 || IceLake4S.FreqGHz != 2.9 || IceLake4S.MemGB != 384 {
+		t.Fatal("Ice Lake Table II constants wrong")
+	}
+	if SapphireRapids2S.TotalCores() != 64 || SapphireRapids2S.Sockets != 2 {
+		t.Fatalf("SPR: %d cores", SapphireRapids2S.TotalCores())
+	}
+	if SapphireRapids2S.PeakBWGBs != 563 || SapphireRapids2S.MemGB != 1024 {
+		t.Fatal("SPR Table II constants wrong")
+	}
+}
+
+func TestEffectiveBW(t *testing.T) {
+	// One socket: local bandwidth only.
+	if bw := IceLake4S.EffectiveBW(1); bw != IceLake4S.SocketBWGBs() {
+		t.Fatalf("1-socket BW = %v", bw)
+	}
+	// Four sockets on Ice Lake: UPI-capped below peak (paper §IX).
+	bw4 := IceLake4S.EffectiveBW(4)
+	if bw4 >= IceLake4S.PeakBWGBs {
+		t.Fatalf("4-socket Ice Lake BW %v should be UPI-capped below peak %v", bw4, IceLake4S.PeakBWGBs)
+	}
+	// Monotone non-decreasing in sockets used.
+	prev := 0.0
+	for s := 1; s <= 4; s++ {
+		bw := IceLake4S.EffectiveBW(s)
+		if bw < prev {
+			t.Fatalf("EffectiveBW not monotone at %d sockets", s)
+		}
+		prev = bw
+	}
+	// Out-of-range inputs clamp.
+	if IceLake4S.EffectiveBW(0) != IceLake4S.EffectiveBW(1) {
+		t.Fatal("clamp low failed")
+	}
+	if IceLake4S.EffectiveBW(9) != IceLake4S.EffectiveBW(4) {
+		t.Fatal("clamp high failed")
+	}
+}
+
+func TestAllocatorContiguousSingleSocket(t *testing.T) {
+	a := NewAllocator(IceLake4S)
+	cores, err := a.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 8 || a.SocketsSpanned(cores) != 1 {
+		t.Fatalf("8-core allocation spans %d sockets", a.SocketsSpanned(cores))
+	}
+	if a.Free() != 104 {
+		t.Fatalf("Free = %d", a.Free())
+	}
+}
+
+func TestAllocatorPrefersEmptySockets(t *testing.T) {
+	a := NewAllocator(SapphireRapids2S)
+	first, _ := a.Allocate(30)
+	second, err := a.Allocate(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 won't fit in socket 0's remaining 2 cores; must land on socket 1.
+	if a.SocketsSpanned(second) != 1 || a.SocketOf(second[0]) == a.SocketOf(first[0]) {
+		t.Fatal("second allocation should use the empty socket")
+	}
+}
+
+func TestAllocatorExhaustionAndRelease(t *testing.T) {
+	a := NewAllocator(SapphireRapids2S)
+	all, err := a.Allocate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate(1); err == nil {
+		t.Fatal("over-allocation must fail")
+	}
+	if err := a.Release(all); err != nil {
+		t.Fatal(err)
+	}
+	if a.Free() != 64 {
+		t.Fatal("release did not return cores")
+	}
+	if err := a.Release(all[:1]); err == nil {
+		t.Fatal("double release must fail")
+	}
+	if err := a.Release([]CoreID{999}); err == nil {
+		t.Fatal("invalid release must fail")
+	}
+}
+
+func TestAllocateZeroFails(t *testing.T) {
+	a := NewAllocator(IceLake4S)
+	if _, err := a.Allocate(0); err == nil {
+		t.Fatal("zero allocation must fail")
+	}
+}
+
+func TestAllocatorSpansSocketsWhenNeeded(t *testing.T) {
+	a := NewAllocator(SapphireRapids2S)
+	cores, err := a.Allocate(40) // more than one socket's 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SocketsSpanned(cores) != 2 {
+		t.Fatalf("40-core allocation spans %d sockets, want 2", a.SocketsSpanned(cores))
+	}
+}

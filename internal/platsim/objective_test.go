@@ -1,0 +1,83 @@
+package platsim
+
+import (
+	"math"
+	"testing"
+
+	"argo/internal/platform"
+	"argo/internal/search"
+)
+
+func TestObjectiveCachesAndIsDeterministic(t *testing.T) {
+	sc := scenarioFor(t, DGL, platform.SapphireRapids2S, Neighbor, SAGE, "flickr")
+	obj := NewObjective(sc)
+	c := search.Config{Procs: 4, SampleCores: 2, TrainCores: 6}
+	a := obj.Evaluate(c)
+	b := obj.Evaluate(c)
+	if a != b || a <= 0 {
+		t.Fatalf("objective not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestObjectiveInfeasibleIsInf(t *testing.T) {
+	sc := scenarioFor(t, DGL, platform.SapphireRapids2S, Neighbor, SAGE, "flickr")
+	obj := NewObjective(sc)
+	if v := obj.Evaluate(search.Config{Procs: 8, SampleCores: 10, TrainCores: 10}); !math.IsInf(v, 1) {
+		t.Fatalf("infeasible config must evaluate to +Inf, got %v", v)
+	}
+}
+
+func TestObjectiveNoise(t *testing.T) {
+	sc := scenarioFor(t, DGL, platform.SapphireRapids2S, Neighbor, SAGE, "flickr")
+	clean := NewObjective(sc)
+	c := search.Config{Procs: 2, SampleCores: 2, TrainCores: 4}
+	base := clean.Evaluate(c)
+
+	noisy := NewObjective(sc)
+	noisy.NoiseFrac = 0.02
+	noisy.NoiseSeed = 1
+	v1 := noisy.Evaluate(c)
+	if math.Abs(v1-base)/base > 0.02+1e-9 {
+		t.Fatalf("noise exceeded bound: %v vs %v", v1, base)
+	}
+	if v1 == noisy.Evaluate(search.Config{Procs: 2, SampleCores: 2, TrainCores: 5}) {
+		t.Fatal("distinct configs should get distinct noise")
+	}
+	// Same seed reproduces; different seed differs.
+	again := NewObjective(sc)
+	again.NoiseFrac = 0.02
+	again.NoiseSeed = 1
+	if again.Evaluate(c) != v1 {
+		t.Fatal("noise must be deterministic per seed")
+	}
+	other := NewObjective(sc)
+	other.NoiseFrac = 0.02
+	other.NoiseSeed = 2
+	if other.Evaluate(c) == v1 {
+		t.Fatal("different seeds should jitter differently")
+	}
+}
+
+func TestBaselineConfigBounds(t *testing.T) {
+	for _, cores := range []int{2, 4, 8, 16, 64, 112} {
+		s, tr := BaselineConfig(DGL, cores)
+		if s < 1 || tr < 1 || s+tr != cores {
+			t.Fatalf("cores=%d: s=%d t=%d", cores, s, tr)
+		}
+		if s > DGL.DefaultSample {
+			t.Fatalf("cores=%d: s=%d exceeds recommended %d", cores, s, DGL.DefaultSample)
+		}
+	}
+}
+
+func TestBestWithBudgetImprovesWithBudget(t *testing.T) {
+	sc := scenarioFor(t, DGL, platform.IceLake4S, Neighbor, SAGE, "ogbn-products")
+	_, e16 := BestWithBudget(sc, 16)
+	cfg64, e64 := BestWithBudget(sc, 64)
+	if e64 >= e16 {
+		t.Fatalf("64-core best %v not below 16-core best %v", e64, e16)
+	}
+	if cfg64.TotalCores() > 64 {
+		t.Fatalf("best config %v exceeds the budget", cfg64)
+	}
+}

@@ -1,0 +1,118 @@
+// Package rlsim demonstrates the paper's §VII-C generalizability claim:
+// ARGO's black-box auto-tuner is not GNN-specific. It models parallel
+// reinforcement-learning training on a CPU–GPU platform — Actors generate
+// experience on CPU cores, a Learner consumes batches on GPU streaming
+// multiprocessors — and exposes the allocation problem through the same
+// search.Objective interface the GNN tuner optimises.
+//
+// The mapping onto ARGO's configuration triple follows the paper's own
+// analogy (actors ↔ sampling, learner ↔ training):
+//
+//	Config.Procs       → number of parallel actor groups
+//	Config.SampleCores → CPU cores per actor group
+//	Config.TrainCores  → learner share units (1 unit = 8 GPU SMs + 1 CPU core)
+package rlsim
+
+import (
+	"math"
+
+	"argo/internal/search"
+)
+
+// Platform describes the heterogeneous machine (e.g. one CPU socket plus
+// a data-center GPU).
+type Platform struct {
+	Name       string
+	CPUCores   int // joint CPU budget: actors plus learner host cores
+	TotalSMs   int // GPU streaming multiprocessors
+	SMsPerUnit int // SMs granted per Config.TrainCores unit
+}
+
+// DefaultPlatform is a 64-core host with an 80-SM GPU.
+var DefaultPlatform = Platform{Name: "cpu64-gpu80", CPUCores: 64, TotalSMs: 80, SMsPerUnit: 8}
+
+// Space returns the feasible allocation space on p, reusing ARGO's
+// configuration bounds: n·(s+t) ≤ CPUCores models the joint host budget
+// (each learner unit also pins one host core for the feeding thread).
+func Space(p Platform) search.Space {
+	return search.DefaultSpace(p.CPUCores)
+}
+
+// Workload characterises one RL training job.
+type Workload struct {
+	// EnvStepsPerCoreSec is one actor core's environment simulation rate.
+	EnvStepsPerCoreSec float64
+	// ActorSerialFrac is the Amdahl serial fraction inside an actor group
+	// (environment reset, policy inference batching).
+	ActorSerialFrac float64
+	// BatchSteps is the number of environment steps per learner batch.
+	BatchSteps float64
+	// LearnerStepsPerSMSec is the learner's gradient-step rate per SM.
+	LearnerStepsPerSMSec float64
+	// LearnerSatSMs is where additional SMs stop helping.
+	LearnerSatSMs float64
+	// BroadcastSec is the per-iteration policy-broadcast cost per actor
+	// group.
+	BroadcastSec float64
+	// TargetSteps is the number of environment steps the objective
+	// measures over (the "epoch" equivalent).
+	TargetSteps float64
+}
+
+// DefaultWorkload is an A2C-style job sized so the optimal allocation is
+// interior: neither all-actors nor all-learner wins.
+var DefaultWorkload = Workload{
+	EnvStepsPerCoreSec:   3_000,
+	ActorSerialFrac:      0.15,
+	BatchSteps:           2_048,
+	LearnerStepsPerSMSec: 1.1,
+	LearnerSatSMs:        48,
+	BroadcastSec:         0.004,
+	TargetSteps:          1e6,
+}
+
+// Objective maps an ARGO configuration to the wall time of TargetSteps
+// environment steps. It implements search.Objective.
+type Objective struct {
+	Platform Platform
+	Workload Workload
+}
+
+// NewObjective returns the default §VII-C objective.
+func NewObjective() *Objective {
+	return &Objective{Platform: DefaultPlatform, Workload: DefaultWorkload}
+}
+
+// Evaluate implements search.Objective.
+func (o *Objective) Evaluate(c search.Config) float64 {
+	p, w := o.Platform, o.Workload
+	actorGroups := c.Procs
+	actorCores := c.SampleCores
+	smUnits := c.TrainCores
+
+	totalCPU := actorGroups*actorCores + smUnits
+	sms := smUnits * p.SMsPerUnit
+	if totalCPU > p.CPUCores || sms > p.TotalSMs {
+		return math.Inf(1)
+	}
+
+	// Experience production: per-group Amdahl over its cores, aggregated
+	// across groups, with a broadcast coordination tax per group.
+	perGroup := w.EnvStepsPerCoreSec * float64(actorCores) /
+		(1 + w.ActorSerialFrac*float64(actorCores-1))
+	production := perGroup * float64(actorGroups)
+
+	// Learner consumption: saturating in SMs.
+	smEff := w.LearnerSatSMs * (1 - math.Exp(-float64(sms)/w.LearnerSatSMs))
+	consumption := w.LearnerStepsPerSMSec * smEff * w.BatchSteps
+
+	// Steady-state throughput is the slower side; an imbalance tax keeps
+	// the landscape smooth (queue contention near the crossover).
+	throughput := math.Min(production, consumption)
+	imbalance := math.Abs(production-consumption) / math.Max(production, consumption)
+	throughput *= 1 - 0.1*imbalance
+
+	iterations := w.TargetSteps / w.BatchSteps
+	syncCost := iterations * w.BroadcastSec * float64(actorGroups)
+	return w.TargetSteps/throughput + syncCost
+}

@@ -1,0 +1,145 @@
+// Package sampler implements the two mini-batch GNN sampling algorithms
+// the paper evaluates: layered Neighbor Sampling (GraphSAGE-style fanout
+// sampling producing message-flow-graph blocks) and ShaDow sampling
+// (localized L'-hop subgraph extraction). Both deduplicate shared
+// neighbours within a batch, which is the mechanism behind the paper's
+// Fig. 5/6 workload-inflation effect: smaller mini-batches share fewer
+// neighbours, so the total sampled workload per epoch grows with the
+// number of ARGO processes.
+package sampler
+
+import (
+	"fmt"
+
+	"argo/internal/graph"
+)
+
+// Block is one layer of a message-flow graph (the analogue of a DGL MFG).
+// SrcNodes holds global node IDs; by construction its first NumDst entries
+// are the destination nodes themselves, so a destination's own previous-
+// layer representation is always available to the model (GraphSAGE concat,
+// GCN self term). Adjacency is stored dst-major in local src indices.
+type Block struct {
+	SrcNodes []graph.NodeID // global IDs; SrcNodes[:NumDst] are the dst nodes
+	NumDst   int
+	RowPtr   []int32 // len NumDst+1
+	Col      []int32 // local indices into SrcNodes
+}
+
+// NumSrc returns the number of source nodes feeding this block.
+func (b *Block) NumSrc() int { return len(b.SrcNodes) }
+
+// NumEdges returns the number of sampled message edges in the block.
+func (b *Block) NumEdges() int { return len(b.Col) }
+
+// Neighbors returns the local src indices aggregated by local dst i.
+func (b *Block) Neighbors(i int) []int32 {
+	return b.Col[b.RowPtr[i]:b.RowPtr[i+1]]
+}
+
+// Validate checks the block's structural invariants.
+func (b *Block) Validate() error {
+	if b.NumDst > len(b.SrcNodes) {
+		return fmt.Errorf("sampler: block has %d dst > %d src", b.NumDst, len(b.SrcNodes))
+	}
+	if len(b.RowPtr) != b.NumDst+1 || b.RowPtr[0] != 0 {
+		return fmt.Errorf("sampler: bad RowPtr")
+	}
+	for i := 0; i < b.NumDst; i++ {
+		if b.RowPtr[i+1] < b.RowPtr[i] {
+			return fmt.Errorf("sampler: RowPtr not monotone at %d", i)
+		}
+	}
+	if int(b.RowPtr[b.NumDst]) != len(b.Col) {
+		return fmt.Errorf("sampler: RowPtr end %d != len(Col) %d", b.RowPtr[b.NumDst], len(b.Col))
+	}
+	for _, c := range b.Col {
+		if c < 0 || int(c) >= len(b.SrcNodes) {
+			return fmt.Errorf("sampler: column %d out of range", c)
+		}
+	}
+	return nil
+}
+
+// Subgraph is a ShaDow-sampled induced subgraph in local CSR form. The
+// first NumTargets nodes are the batch targets (readout rows).
+type Subgraph struct {
+	Nodes      []graph.NodeID // global IDs; Nodes[:NumTargets] are targets
+	NumTargets int
+	RowPtr     []int32
+	Col        []int32 // local indices into Nodes
+}
+
+// NumEdges returns the induced arc count.
+func (s *Subgraph) NumEdges() int { return len(s.Col) }
+
+// Neighbors returns the local adjacency of local node i.
+func (s *Subgraph) Neighbors(i int) []int32 {
+	return s.Col[s.RowPtr[i]:s.RowPtr[i+1]]
+}
+
+// Validate checks the subgraph's structural invariants.
+func (s *Subgraph) Validate() error {
+	n := len(s.Nodes)
+	if s.NumTargets > n {
+		return fmt.Errorf("sampler: subgraph has %d targets > %d nodes", s.NumTargets, n)
+	}
+	if len(s.RowPtr) != n+1 || s.RowPtr[0] != 0 {
+		return fmt.Errorf("sampler: bad subgraph RowPtr")
+	}
+	for i := 0; i < n; i++ {
+		if s.RowPtr[i+1] < s.RowPtr[i] {
+			return fmt.Errorf("sampler: subgraph RowPtr not monotone at %d", i)
+		}
+	}
+	if int(s.RowPtr[n]) != len(s.Col) {
+		return fmt.Errorf("sampler: subgraph RowPtr end mismatch")
+	}
+	for _, c := range s.Col {
+		if c < 0 || int(c) >= n {
+			return fmt.Errorf("sampler: subgraph column %d out of range", c)
+		}
+	}
+	return nil
+}
+
+// MiniBatch is one sampled unit of work: either a stack of blocks
+// (Neighbor Sampling) or an induced subgraph (ShaDow), never both.
+type MiniBatch struct {
+	Targets []graph.NodeID
+	Blocks  []Block   // forward order: Blocks[0] is consumed by GNN layer 0
+	Sub     *Subgraph // non-nil for ShaDow batches
+	Stats   Stats
+}
+
+// InputNodes returns the global IDs whose features must be gathered to
+// run the model on this batch.
+func (mb *MiniBatch) InputNodes() []graph.NodeID {
+	if mb.Sub != nil {
+		return mb.Sub.Nodes
+	}
+	if len(mb.Blocks) == 0 {
+		return mb.Targets
+	}
+	return mb.Blocks[0].SrcNodes
+}
+
+// Stats accumulates the sampling workload of a batch (or an epoch, via
+// Accumulate). SampledEdges is the quantity the paper plots in Fig. 6.
+type Stats struct {
+	InputNodes   int64
+	SampledEdges int64
+	LayerEdges   []int64
+}
+
+// Accumulate adds other into s, summing layer counts positionally.
+func (s *Stats) Accumulate(other Stats) {
+	s.InputNodes += other.InputNodes
+	s.SampledEdges += other.SampledEdges
+	for len(s.LayerEdges) < len(other.LayerEdges) {
+		s.LayerEdges = append(s.LayerEdges, 0)
+	}
+	for i, e := range other.LayerEdges {
+		s.LayerEdges[i] += e
+	}
+}

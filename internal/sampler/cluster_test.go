@@ -1,0 +1,185 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+func TestClusterSamplerStructure(t *testing.T) {
+	g, _ := sampleGraph(t, 40)
+	cs := NewCluster(g, 8, 3, 1)
+	rng := rand.New(rand.NewSource(2))
+	targets := someTargets(g, 12, rng)
+	mb := cs.Sample(rng, targets)
+
+	if mb.Sub == nil {
+		t.Fatal("cluster batches carry a Subgraph")
+	}
+	if err := mb.Sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range targets {
+		if mb.Sub.Nodes[i] != v {
+			t.Fatalf("target %d not at position %d", v, i)
+		}
+	}
+	if cs.Name() != "cluster" || cs.NumLayers() != 3 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// Every non-target node in the batch must belong to a target's cluster.
+func TestClusterSamplerPullsWholeClusters(t *testing.T) {
+	g, _ := sampleGraph(t, 41)
+	cs := NewCluster(g, 6, 2, 3)
+	cs.MaxClusterNodes = 0 // unbounded: exact cluster unions
+	rng := rand.New(rand.NewSource(4))
+	targets := someTargets(g, 5, rng)
+	mb := cs.Sample(rng, targets)
+
+	targetClusters := map[int32]bool{}
+	for _, v := range targets {
+		targetClusters[cs.Part.Assign[v]] = true
+	}
+	// Membership check: every batch node is in a target cluster...
+	for _, v := range mb.Sub.Nodes {
+		if !targetClusters[cs.Part.Assign[v]] {
+			t.Fatalf("node %d from cluster %d not in target clusters", v, cs.Part.Assign[v])
+		}
+	}
+	// ...and every member of every target cluster is in the batch.
+	want := 0
+	for p := range targetClusters {
+		want += len(cs.members[p])
+	}
+	if len(mb.Sub.Nodes) != want {
+		t.Fatalf("batch has %d nodes, cluster union has %d", len(mb.Sub.Nodes), want)
+	}
+}
+
+func TestClusterSamplerSubsamplesHugeClusters(t *testing.T) {
+	g, _ := sampleGraph(t, 42)
+	cs := NewCluster(g, 2, 2, 5) // two big clusters (~300 nodes each)
+	cs.MaxClusterNodes = 50
+	rng := rand.New(rand.NewSource(6))
+	targets := someTargets(g, 4, rng)
+	mb := cs.Sample(rng, targets)
+	// At most: targets + 2 clusters × 50 subsampled members.
+	if len(mb.Sub.Nodes) > 4+2*50 {
+		t.Fatalf("subsampling bound violated: %d nodes", len(mb.Sub.Nodes))
+	}
+}
+
+func TestClusterInducedEdgesReal(t *testing.T) {
+	g, _ := sampleGraph(t, 43)
+	cs := NewCluster(g, 8, 2, 7)
+	rng := rand.New(rand.NewSource(8))
+	mb := cs.Sample(rng, someTargets(g, 8, rng))
+	for i := range mb.Sub.Nodes {
+		for _, j := range mb.Sub.Neighbors(i) {
+			if !g.HasEdge(mb.Sub.Nodes[i], mb.Sub.Nodes[j]) {
+				t.Fatal("induced non-edge")
+			}
+		}
+	}
+}
+
+func TestSaintRWStructure(t *testing.T) {
+	g, _ := sampleGraph(t, 44)
+	srw := NewSaintRW(g, 3, 4, 2)
+	rng := rand.New(rand.NewSource(9))
+	targets := someTargets(g, 10, rng)
+	mb := srw.Sample(rng, targets)
+	if err := mb.Sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range targets {
+		if mb.Sub.Nodes[i] != v {
+			t.Fatalf("target %d not leading the node list", v)
+		}
+	}
+	if srw.Name() != "saint-rw" || srw.NumLayers() != 2 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// Walk-visited nodes bound: targets + walks × length.
+func TestSaintRWSizeBound(t *testing.T) {
+	g, _ := sampleGraph(t, 45)
+	srw := NewSaintRW(g, 2, 5, 2)
+	rng := rand.New(rand.NewSource(10))
+	targets := someTargets(g, 6, rng)
+	mb := srw.Sample(rng, targets)
+	bound := len(targets) * (1 + 2*5)
+	if len(mb.Sub.Nodes) > bound {
+		t.Fatalf("subgraph has %d nodes, walk bound %d", len(mb.Sub.Nodes), bound)
+	}
+}
+
+// Walks follow edges: every non-target node must be reachable from some
+// target within WalkLen hops (weak check: it has an in-batch neighbour).
+func TestSaintRWConnectivity(t *testing.T) {
+	g, _ := sampleGraph(t, 46)
+	srw := NewSaintRW(g, 4, 3, 2)
+	rng := rand.New(rand.NewSource(11))
+	targets := someTargets(g, 6, rng)
+	mb := srw.Sample(rng, targets)
+	isTarget := map[graph.NodeID]bool{}
+	for _, v := range targets {
+		isTarget[v] = true
+	}
+	for i, v := range mb.Sub.Nodes {
+		if isTarget[v] {
+			continue
+		}
+		if len(mb.Sub.Neighbors(i)) == 0 {
+			// A walked-to node always has at least the edge it was
+			// reached through, unless that predecessor was dropped —
+			// impossible since walks only add nodes.
+			t.Fatalf("walk node %d is isolated in the subgraph", v)
+		}
+	}
+}
+
+func TestSaintRWDeterministic(t *testing.T) {
+	g, _ := sampleGraph(t, 47)
+	srw := NewSaintRW(g, 3, 4, 2)
+	targets := someTargets(g, 8, rand.New(rand.NewSource(12)))
+	a := srw.Sample(rand.New(rand.NewSource(13)), targets)
+	b := srw.Sample(rand.New(rand.NewSource(13)), targets)
+	if len(a.Sub.Nodes) != len(b.Sub.Nodes) {
+		t.Fatal("same seed, different subgraphs")
+	}
+	for i := range a.Sub.Nodes {
+		if a.Sub.Nodes[i] != b.Sub.Nodes[i] {
+			t.Fatal("same seed, different node order")
+		}
+	}
+}
+
+func TestFullGraphSampler(t *testing.T) {
+	g, _ := sampleGraph(t, 50)
+	fg := NewFullGraph(g, 2)
+	rng := rand.New(rand.NewSource(14))
+	targets := someTargets(g, 7, rng)
+	mb := fg.Sample(rng, targets)
+	if err := mb.Sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.Sub.Nodes) != g.NumNodes {
+		t.Fatalf("full graph batch has %d nodes, want %d", len(mb.Sub.Nodes), g.NumNodes)
+	}
+	if int64(mb.Sub.NumEdges()) != g.NumEdges() {
+		t.Fatalf("induced %d edges, graph has %d", mb.Sub.NumEdges(), g.NumEdges())
+	}
+	for i, v := range targets {
+		if mb.Sub.Nodes[i] != v {
+			t.Fatal("targets must lead the node list")
+		}
+	}
+	if fg.Name() != "fullgraph" || fg.NumLayers() != 2 {
+		t.Fatal("metadata wrong")
+	}
+}

@@ -1,0 +1,60 @@
+package sampler
+
+import (
+	"math/rand"
+
+	"argo/internal/graph"
+)
+
+// FullGraph is the no-sampling baseline from the paper's §II-B
+// background: every "batch" aggregates over the entire graph, so with the
+// batch size set to the whole training set the model updates once per
+// epoch. The paper dismisses it for large graphs — unacceptable memory
+// cost and slower convergence than mini-batch training — and this
+// implementation exists to demonstrate exactly that comparison (see
+// TestFullGraphConvergesSlower).
+type FullGraph struct {
+	Graph  *graph.CSR
+	Layers int
+}
+
+// NewFullGraph returns a full-graph "sampler" for an L-layer model.
+func NewFullGraph(g *graph.CSR, layers int) *FullGraph {
+	return &FullGraph{Graph: g, Layers: layers}
+}
+
+// Name implements Sampler.
+func (f *FullGraph) Name() string { return "fullgraph" }
+
+// NumLayers implements Sampler.
+func (f *FullGraph) NumLayers() int { return f.Layers }
+
+// Sample implements Sampler: the subgraph is the whole graph, relabelled
+// so the targets lead the node list.
+func (f *FullGraph) Sample(_ *rand.Rand, targets []graph.NodeID) *MiniBatch {
+	n := f.Graph.NumNodes
+	local := make(map[graph.NodeID]int32, n)
+	nodes := make([]graph.NodeID, 0, n)
+	for _, v := range targets {
+		if _, ok := local[v]; !ok {
+			local[v] = int32(len(nodes))
+			nodes = append(nodes, v)
+		}
+	}
+	numTargets := len(nodes)
+	for v := 0; v < n; v++ {
+		if _, ok := local[graph.NodeID(v)]; !ok {
+			local[graph.NodeID(v)] = int32(len(nodes))
+			nodes = append(nodes, graph.NodeID(v))
+		}
+	}
+	sub := induce(f.Graph, nodes, local, numTargets)
+	mb := &MiniBatch{Targets: targets, Sub: sub}
+	mb.Stats.InputNodes = int64(n)
+	mb.Stats.SampledEdges = f.Graph.NumEdges() * int64(f.Layers)
+	mb.Stats.LayerEdges = make([]int64, f.Layers)
+	for l := range mb.Stats.LayerEdges {
+		mb.Stats.LayerEdges[l] = f.Graph.NumEdges()
+	}
+	return mb
+}

@@ -1,0 +1,43 @@
+package sampler
+
+import (
+	"math/rand"
+
+	"argo/internal/graph"
+)
+
+// EpochWorkload samples one full epoch over train with the given
+// per-process mini-batch layout and returns the accumulated workload
+// statistics. It reproduces the measurement behind the paper's Fig. 6:
+// with numProcs processes the global batch globalBatch is split into
+// globalBatch/numProcs per process, and because smaller batches share
+// fewer neighbours the total SampledEdges grows with numProcs even though
+// the set of target nodes is identical.
+func EpochWorkload(s Sampler, train []graph.NodeID, globalBatch, numProcs int, seed int64) Stats {
+	if numProcs < 1 {
+		numProcs = 1
+	}
+	perProc := globalBatch / numProcs
+	if perProc < 1 {
+		perProc = 1
+	}
+	var total Stats
+	rng := rand.New(rand.NewSource(seed))
+	// Split target nodes evenly across processes (the Multi-Process
+	// Engine's random even split), then batch within each process.
+	parts := make([][]graph.NodeID, numProcs)
+	for i, v := range train {
+		parts[i%numProcs] = append(parts[i%numProcs], v)
+	}
+	for _, part := range parts {
+		for lo := 0; lo < len(part); lo += perProc {
+			hi := lo + perProc
+			if hi > len(part) {
+				hi = len(part)
+			}
+			mb := s.Sample(rng, part[lo:hi])
+			total.Accumulate(mb.Stats)
+		}
+	}
+	return total
+}

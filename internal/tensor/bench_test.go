@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrices(b *testing.B, m, k, n int) (*Matrix, *Matrix, *Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomMatrix(rng, m, k), randomMatrix(rng, k, n), New(m, n)
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	a, x, dst := benchMatrices(b, 128, 128, 128)
+	pool := NewPool(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(pool, dst, a, x)
+	}
+}
+
+func BenchmarkMatMul128Parallel4(b *testing.B) {
+	a, x, dst := benchMatrices(b, 128, 128, 128)
+	pool := NewPool(4)
+	for i := 0; i < b.N; i++ {
+		MatMul(pool, dst, a, x)
+	}
+}
+
+func BenchmarkMatMulBT128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a, x := randomMatrix(rng, 128, 128), randomMatrix(rng, 128, 128)
+	dst := New(128, 128)
+	pool := NewPool(1)
+	for i := 0; i < b.N; i++ {
+		MatMulBT(pool, dst, a, x)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 1024, 47)
+	out := New(1024, 47)
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(out, m)
+	}
+}
+
+func BenchmarkReLU(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(rng, 1024, 128)
+	out := New(1024, 128)
+	for i := 0; i < b.N; i++ {
+		ReLU(out, m)
+	}
+}

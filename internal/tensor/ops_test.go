@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation the kernels are checked
+// against.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			c.Set(i, j, float32(s))
+		}
+	}
+	return c
+}
+
+func transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := NewPool(3)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(17), 1+rng.Intn(17), 1+rng.Intn(17)
+		a, b := randomMatrix(rng, m, k), randomMatrix(rng, k, n)
+		got := New(m, n)
+		MatMul(pool, got, a, b)
+		want := naiveMatMul(a, b)
+		if got.MaxAbsDiff(want) > 1e-4 {
+			t.Fatalf("trial %d: MatMul diff %g", trial, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulBTAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := NewPool(2)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(13), 1+rng.Intn(13), 1+rng.Intn(13)
+		a, b := randomMatrix(rng, m, k), randomMatrix(rng, n, k)
+		got := New(m, n)
+		MatMulBT(pool, got, a, b)
+		want := naiveMatMul(a, transpose(b))
+		if got.MaxAbsDiff(want) > 1e-4 {
+			t.Fatalf("trial %d: MatMulBT diff %g", trial, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulATAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := NewPool(4)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(13), 1+rng.Intn(13), 1+rng.Intn(13)
+		a, b := randomMatrix(rng, k, m), randomMatrix(rng, k, n)
+		got := New(m, n)
+		MatMulAT(pool, got, a, b)
+		want := naiveMatMul(transpose(a), b)
+		if got.MaxAbsDiff(want) > 1e-4 {
+			t.Fatalf("trial %d: MatMulAT diff %g", trial, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	pool := NewPool(1)
+	cases := []func(){
+		func() { MatMul(pool, New(2, 2), New(2, 3), New(2, 2)) },
+		func() { MatMulBT(pool, New(2, 2), New(2, 3), New(2, 2)) },
+		func() { MatMulAT(pool, New(2, 2), New(3, 2), New(2, 2)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected shape panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestMatMulWorkerInvariance is the key determinism property: the result
+// must not depend on the pool's worker count.
+func TestMatMulWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randomMatrix(rng, 31, 17), randomMatrix(rng, 17, 23)
+	ref := New(31, 23)
+	MatMul(NewPool(1), ref, a, b)
+	for _, w := range []int{2, 3, 5, 8, 64} {
+		got := New(31, 23)
+		MatMul(NewPool(w), got, a, b)
+		if !got.Equal(ref) {
+			t.Fatalf("workers=%d produced different result", w)
+		}
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, checked through the three kernel variants.
+func TestQuickMatMulTransposeIdentity(t *testing.T) {
+	pool := NewPool(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(9), 1+rng.Intn(9), 1+rng.Intn(9)
+		a, b := randomMatrix(rng, m, k), randomMatrix(rng, k, n)
+		ab := New(m, n)
+		MatMul(pool, ab, a, b)
+		// Bᵀ·Aᵀ via MatMulBT(Bᵀ, A) ... compute directly with naive.
+		btat := naiveMatMul(transpose(b), transpose(a))
+		return transpose(ab).MaxAbsDiff(btat) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ColSum(A) + ColSum(B) == ColSum(A+B).
+func TestQuickColSumLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(9), 1+rng.Intn(9)
+		a, b := randomMatrix(rng, r, c), randomMatrix(rng, r, c)
+		sa, sb := make([]float32, c), make([]float32, c)
+		ColSum(sa, a)
+		ColSum(sb, b)
+		Add(a, b)
+		sum := make([]float32, c)
+		ColSum(sum, a)
+		for j := range sum {
+			if math.Abs(float64(sum[j]-(sa[j]+sb[j]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAndAddScaled(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{10, 20, 30})
+	Add(a, b)
+	want := []float32{11, 22, 33}
+	for i, v := range want {
+		if a.Data[i] != v {
+			t.Fatalf("Add: got %v want %v", a.Data, want)
+		}
+	}
+	AddScaled(a, -1, b)
+	for i, v := range []float32{1, 2, 3} {
+		if a.Data[i] != v {
+			t.Fatalf("AddScaled: got %v", a.Data)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromSlice(1, 2, []float32{2, -4})
+	Scale(m, 0.5)
+	if m.Data[0] != 1 || m.Data[1] != -2 {
+		t.Fatalf("Scale: %v", m.Data)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := New(2, 2)
+	AddRowVector(m, []float32{1, 2})
+	if m.At(0, 0) != 1 || m.At(1, 1) != 2 {
+		t.Fatalf("AddRowVector: %v", m.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	src := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	dst := New(1, 4)
+	ReLU(dst, src)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range want {
+		if dst.Data[i] != v {
+			t.Fatalf("ReLU: %v", dst.Data)
+		}
+	}
+	grad := FromSlice(1, 4, []float32{5, 6, 7, 8})
+	out := New(1, 4)
+	ReLUBackward(out, grad, dst)
+	wantG := []float32{0, 0, 7, 0}
+	for i, v := range wantG {
+		if out.Data[i] != v {
+			t.Fatalf("ReLUBackward: %v", out.Data)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	src := FromSlice(2, 3, []float32{1, 1, 1, 1000, 0, -1000})
+	dst := New(2, 3)
+	SoftmaxRows(dst, src)
+	for j := 0; j < 3; j++ {
+		if math.Abs(float64(dst.At(0, j))-1.0/3) > 1e-5 {
+			t.Fatalf("uniform softmax wrong: %v", dst.Row(0))
+		}
+	}
+	// Extreme logits must not produce NaN/Inf and must concentrate mass.
+	if dst.At(1, 0) < 0.999 {
+		t.Fatalf("softmax should concentrate: %v", dst.Row(1))
+	}
+	for _, v := range dst.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax produced NaN/Inf")
+		}
+	}
+}
+
+// Property: softmax rows always sum to 1 and are non-negative.
+func TestQuickSoftmaxSimplex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(5), 2+rng.Intn(8))
+		out := New(m.Rows, m.Cols)
+		SoftmaxRows(out, m)
+		for i := 0; i < out.Rows; i++ {
+			var sum float64
+			for _, v := range out.Row(i) {
+				if v < 0 {
+					return false
+				}
+				sum += float64(v)
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 5, 2, 7, 0, 7})
+	idx := make([]int, 2)
+	ArgMaxRows(idx, m)
+	if idx[0] != 1 {
+		t.Fatalf("ArgMaxRows row0 = %d", idx[0])
+	}
+	if idx[1] != 0 { // ties resolve to the first maximum
+		t.Fatalf("ArgMaxRows tie must pick first: %d", idx[1])
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromSlice(1, 2, []float32{3, 4})
+	if n := FrobeniusNorm(m); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("FrobeniusNorm = %v", n)
+	}
+}
+
+func TestColSumLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ColSum(make([]float32, 3), New(2, 2))
+}

@@ -1,0 +1,64 @@
+package tensor
+
+import "sync"
+
+// Pool is a bounded worker pool used to parallelise kernels. A Pool with
+// Workers == 1 executes everything inline, which keeps single-core runs
+// free of goroutine overhead and makes results reproducible regardless of
+// scheduling.
+//
+// A Pool models the "cores" assigned to a stage (sampling cores or
+// training cores in ARGO's terminology): a kernel dispatched on a Pool
+// never uses more concurrent goroutines than Workers.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs kernels on at most workers goroutines.
+// workers < 1 is treated as 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ParallelRange splits [0, n) into at most Workers contiguous chunks and
+// invokes fn(lo, hi) for each chunk, blocking until all complete. Chunk
+// boundaries depend only on n and Workers, so floating-point reductions
+// that stay within a chunk are deterministic for a fixed worker count.
+func (p *Pool) ParallelRange(n int, fn func(lo, hi int)) {
+	w := p.Workers()
+	if n <= 0 {
+		return
+	}
+	if w == 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,145 @@
+// Package trace records execution timelines from the platform simulator
+// and renders them as ASCII Gantt charts — the reproduction of the paper's
+// Fig. 2 time-traces (single process vs. two overlapped processes).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one phase execution on one actor's lane.
+type Event struct {
+	Proc  int     // process index
+	Actor string  // "sampler" or "trainer"
+	Phase string  // "sample", "gather", "aggregate", "dense", "backward", "sync"
+	Start float64 // seconds
+	End   float64
+}
+
+// Timeline accumulates events.
+type Timeline struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (tl *Timeline) Add(e Event) { tl.Events = append(tl.Events, e) }
+
+// Duration returns the latest event end time.
+func (tl *Timeline) Duration() float64 {
+	var max float64
+	for _, e := range tl.Events {
+		if e.End > max {
+			max = e.End
+		}
+	}
+	return max
+}
+
+// phaseGlyph maps phases to the single characters used in the chart.
+// Memory-intensive phases use dense glyphs, compute uses light ones, so
+// the Fig. 2 alternation is visible at a glance.
+var phaseGlyph = map[string]byte{
+	"sample":    's',
+	"gather":    'M', // memory access
+	"aggregate": 'm', // memory + some compute
+	"dense":     'c', // compute
+	"backward":  'b',
+	"sync":      '|',
+}
+
+// MemoryPhases lists the phases the paper classifies as memory-intensive.
+var MemoryPhases = map[string]bool{"sample": false, "gather": true, "aggregate": true}
+
+// Render draws one text lane per (process, actor), `width` characters
+// spanning the full timeline duration.
+func (tl *Timeline) Render(width int) string {
+	if len(tl.Events) == 0 {
+		return "(empty timeline)\n"
+	}
+	dur := tl.Duration()
+	if dur <= 0 {
+		return "(zero-length timeline)\n"
+	}
+	type laneKey struct {
+		proc  int
+		actor string
+	}
+	lanes := map[laneKey][]byte{}
+	var keys []laneKey
+	for _, e := range tl.Events {
+		k := laneKey{e.Proc, e.Actor}
+		if _, ok := lanes[k]; !ok {
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			lanes[k] = row
+			keys = append(keys, k)
+		}
+		lo := int(e.Start / dur * float64(width))
+		hi := int(e.End / dur * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		g := phaseGlyph[e.Phase]
+		if g == 0 {
+			g = '?'
+		}
+		row := lanes[k]
+		for i := lo; i < hi; i++ {
+			row[i] = g
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proc != keys[j].proc {
+			return keys[i].proc < keys[j].proc
+		}
+		return keys[i].actor < keys[j].actor
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.3fs  (s=sample M=gather m=aggregate c=dense b=backward |=sync)\n", dur)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "P%d %-8s %s\n", k.proc, k.actor, lanes[k])
+	}
+	return b.String()
+}
+
+// BusyFraction returns the fraction of the timeline during which at least
+// one event with a phase in the given set is running — e.g. how busy the
+// memory system is across all processes (the Fig. 2 utilization argument).
+func (tl *Timeline) BusyFraction(phases map[string]bool) float64 {
+	dur := tl.Duration()
+	if dur <= 0 {
+		return 0
+	}
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+	for _, e := range tl.Events {
+		if !phases[e.Phase] {
+			continue
+		}
+		edges = append(edges, edge{e.Start, 1}, edge{e.End, -1})
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	var busy, last float64
+	depth := 0
+	for _, ed := range edges {
+		if depth > 0 {
+			busy += ed.t - last
+		}
+		last = ed.t
+		depth += ed.delta
+	}
+	return busy / dur
+}

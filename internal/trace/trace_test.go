@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTimeline() *Timeline {
+	tl := &Timeline{}
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "gather", Start: 0, End: 1})
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "dense", Start: 1, End: 3})
+	tl.Add(Event{Proc: 1, Actor: "trainer", Phase: "gather", Start: 2, End: 4})
+	tl.Add(Event{Proc: 0, Actor: "sampler", Phase: "sample", Start: 0, End: 2})
+	return tl
+}
+
+func TestDuration(t *testing.T) {
+	tl := sampleTimeline()
+	if tl.Duration() != 4 {
+		t.Fatalf("Duration = %v, want 4", tl.Duration())
+	}
+	empty := &Timeline{}
+	if empty.Duration() != 0 {
+		t.Fatal("empty timeline has zero duration")
+	}
+}
+
+func TestRenderContainsLanes(t *testing.T) {
+	out := sampleTimeline().Render(40)
+	for _, want := range []string{"P0 trainer", "P0 sampler", "P1 trainer", "M", "c", "s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + 3 lanes
+		t.Fatalf("expected 4 lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := (&Timeline{}).Render(40)
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("unexpected empty render: %q", out)
+	}
+}
+
+func TestRenderShortEventStillVisible(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "dense", Start: 0, End: 100})
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "sync", Start: 100, End: 100.0001})
+	out := tl.Render(50)
+	if !strings.Contains(out, "|") {
+		t.Fatalf("tiny sync event must still render:\n%s", out)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "gather", Start: 0, End: 1})
+	tl.Add(Event{Proc: 1, Actor: "trainer", Phase: "gather", Start: 0.5, End: 1.5})
+	tl.Add(Event{Proc: 0, Actor: "trainer", Phase: "dense", Start: 1.5, End: 4})
+	// Memory busy: union [0, 1.5] of 4.0 total.
+	got := tl.BusyFraction(map[string]bool{"gather": true})
+	if got < 0.37 || got > 0.38 {
+		t.Fatalf("BusyFraction = %v, want 0.375", got)
+	}
+	if tl.BusyFraction(map[string]bool{}) != 0 {
+		t.Fatal("no phases selected ⇒ zero busy fraction")
+	}
+}
+
+func TestBusyFractionEmptyTimeline(t *testing.T) {
+	if (&Timeline{}).BusyFraction(MemoryPhases) != 0 {
+		t.Fatal("empty timeline busy fraction must be 0")
+	}
+}
