@@ -7,29 +7,35 @@
 // ARGO improves platform utilisation by running n synchronized training
 // processes whose memory-intensive phases overlap other processes'
 // compute phases, binding each process's sampling and training workers to
-// disjoint cores, and auto-tuning the (n, s, t) configuration online with
-// Bayesian optimization. Training semantics are preserved: the global
-// mini-batch is split n ways and gradients are averaged synchronously, so
-// the effective batch size never changes.
+// disjoint cores, and auto-tuning the (n, s, t) configuration online. The
+// tuning policy is a pluggable Strategy: the paper's Bayesian-optimization
+// auto-tuner is the default, with simulated annealing, random search and
+// exhaustive enumeration (its Table IV/V/VI comparisons) registered
+// alongside it — see Strategies. Training semantics are preserved: the
+// global mini-batch is split n ways and gradients are averaged
+// synchronously, so the effective batch size never changes.
 //
 // Typical use mirrors the paper's Listing 1:
 //
 //	trainer, _ := argo.NewGNNTrainer(argo.GNNTrainerOptions{ ... })
-//	rt, _ := argo.New(argo.Options{NumSearches: 20, Epochs: 200})
-//	report, _ := rt.Run(trainer.Step)
+//	rt, _ := argo.NewRuntime(200, 20,
+//	        argo.WithTotalCores(64),
+//	        argo.WithStrategy(argo.StrategyBayesOpt))
+//	report, _ := rt.Run(ctx, trainer.Step)
 //
-// Run executes Algorithm 1 from the paper: for the first NumSearches
-// epochs the auto-tuner proposes a configuration, observes the epoch
-// time, and updates its surrogate model; the remaining epochs reuse the
-// best configuration found.
+// Run executes Algorithm 1 from the paper: for the first numSearches
+// epochs the strategy proposes a configuration, observes the epoch time,
+// and updates its model; the remaining epochs reuse the best
+// configuration found. The loop honours ctx between epochs, streams an
+// Event per epoch (WithEvents), and the final Report round-trips through
+// JSON so a later run can warm-start from it (WithWarmStart).
 package argo
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"time"
 
-	"argo/internal/bayesopt"
 	"argo/internal/core"
 	"argo/internal/graph"
 	"argo/internal/nn"
@@ -50,117 +56,225 @@ type Space = search.Space
 func DefaultSpace(totalCores int) Space { return search.DefaultSpace(totalCores) }
 
 // TrainStep runs `epochs` training epochs under cfg and returns the mean
-// epoch time in seconds. ARGO calls it once per epoch while tuning and
-// once for the whole tail of training afterwards. Implementations must
-// carry model state across calls (GNNTrainer does).
-type TrainStep func(cfg Config, epochs int) (secondsPerEpoch float64, err error)
+// epoch time in seconds. ARGO calls it once per epoch, both while tuning
+// and through the reuse tail, so implementations must carry model state
+// across calls (GNNTrainer does). The context is the one passed to Run;
+// long steps should abort promptly when it is cancelled.
+type TrainStep func(ctx context.Context, cfg Config, epochs int) (secondsPerEpoch float64, err error)
 
-// Options configures a Runtime.
-type Options struct {
-	// NumSearches is the online-learning budget: how many epochs are
-	// spent evaluating auto-tuner proposals (paper Table VI uses 5–6 % of
-	// the space: 35/45 on 112 cores, 20/25 on 64).
-	NumSearches int
-	// Epochs is the total number of training epochs, tuning included.
-	Epochs int
-	// TotalCores bounds the configuration space. Defaults to
-	// runtime.NumCPU().
-	TotalCores int
-	// Seed drives the tuner's random probes.
-	Seed int64
-	// Logf, when set, receives one line per tuning step.
-	Logf func(format string, args ...any)
-}
-
-// EpochRecord is one entry of a Report's history.
-type EpochRecord struct {
-	Epoch   int
-	Config  Config
-	Seconds float64
-	// Phase is "search" while the auto-tuner is learning, then "reuse".
-	Phase string
-}
-
-// Report summarises a Run.
-type Report struct {
-	Best             Config
-	BestEpochSeconds float64
-	History          []EpochRecord
-	// TunerOverhead is the time spent fitting the surrogate model and
-	// maximising the acquisition function (paper §VI-D).
-	TunerOverhead time.Duration
-	// TotalSeconds is the end-to-end training time: every search epoch at
-	// its observed cost plus the reuse tail.
-	TotalSeconds float64
-}
-
-// Runtime drives auto-tuned training. Create one per training job.
+// Runtime drives auto-tuned training. Create one per training job with
+// NewRuntime.
 type Runtime struct {
-	opts  Options
-	space Space
+	epochs      int
+	numSearches int
+	strategy    string
+	totalCores  int
+	seed        int64
+	space       Space
+	haveSpace   bool
+	logf        func(format string, args ...any)
+	onEvent     EventFunc
+	earlyStop   int
+	warmStart   []EpochRecord
 }
 
-// New validates opts and returns a Runtime.
-func New(opts Options) (*Runtime, error) {
-	if opts.Epochs < 1 {
-		return nil, fmt.Errorf("argo: Epochs must be ≥1, got %d", opts.Epochs)
+// NewRuntime returns a Runtime that trains for `epochs` total epochs,
+// spending the first `numSearches` of them evaluating tuning-strategy
+// proposals (paper Table VI budgets ~5 % of the space). Behaviour is
+// customised with functional options: WithStrategy, WithTotalCores,
+// WithSpace, WithSeed, WithLogf, WithEvents, WithEarlyStop,
+// WithWarmStart.
+func NewRuntime(epochs, numSearches int, opts ...Option) (*Runtime, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("argo: Epochs must be ≥1, got %d", epochs)
 	}
-	if opts.NumSearches < 1 {
-		return nil, fmt.Errorf("argo: NumSearches must be ≥1, got %d", opts.NumSearches)
+	if numSearches < 1 {
+		return nil, fmt.Errorf("argo: NumSearches must be ≥1, got %d", numSearches)
 	}
-	if opts.NumSearches > opts.Epochs {
-		return nil, fmt.Errorf("argo: NumSearches %d exceeds Epochs %d", opts.NumSearches, opts.Epochs)
+	if numSearches > epochs {
+		return nil, fmt.Errorf("argo: NumSearches %d exceeds Epochs %d", numSearches, epochs)
 	}
-	if opts.TotalCores == 0 {
-		opts.TotalCores = runtime.NumCPU()
+	r := &Runtime{
+		epochs:      epochs,
+		numSearches: numSearches,
+		strategy:    StrategyBayesOpt,
 	}
-	sp := search.DefaultSpace(opts.TotalCores)
-	if sp.Size() == 0 {
-		return nil, fmt.Errorf("argo: no feasible configuration on %d cores", opts.TotalCores)
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
 	}
-	return &Runtime{opts: opts, space: sp}, nil
+	if !r.haveSpace {
+		if r.totalCores == 0 {
+			r.totalCores = runtime.NumCPU()
+		}
+		r.space = search.DefaultSpace(r.totalCores)
+	}
+	if r.space.Size() == 0 {
+		return nil, fmt.Errorf("argo: no feasible configuration on %d cores", r.totalCores)
+	}
+	return r, nil
 }
 
 // SpaceSize returns the number of feasible configurations.
 func (r *Runtime) SpaceSize() int { return r.space.Size() }
 
-// Run executes the paper's Algorithm 1 against the training function.
-func (r *Runtime) Run(train TrainStep) (Report, error) {
-	var rep Report
-	tuner := bayesopt.NewTuner(r.space, r.opts.NumSearches, r.opts.Seed)
+// StrategyName returns the registered name of the tuning strategy this
+// runtime will use.
+func (r *Runtime) StrategyName() string { return r.strategy }
+
+// emit streams e to the event callback, if any.
+func (r *Runtime) emit(e Event) {
+	if r.onEvent != nil {
+		r.onEvent(e)
+	}
+}
+
+// Run executes the paper's Algorithm 1 against the training function:
+// numSearches single-epoch strategy probes, then per-epoch reuse of the
+// best configuration found. Cancellation is honoured between epochs: on
+// ctx expiry Run stops cleanly and returns the partial Report together
+// with the context's error.
+func (r *Runtime) Run(ctx context.Context, train TrainStep) (Report, error) {
+	rep := Report{Strategy: r.strategy}
+	// Warm-start observations must inform the strategy without consuming
+	// the run's own online-learning budget, so the strategy is built with
+	// a budget covering both. Records outside this run's space (e.g. a
+	// report from a larger machine) are dropped: replaying them could
+	// make an infeasible configuration the incumbent and drive the whole
+	// reuse phase with it.
+	var warm []EpochRecord
+	for _, h := range r.warmStart {
+		if r.space.Feasible(h.Config) {
+			warm = append(warm, h)
+		}
+	}
+	strat, err := NewStrategy(r.strategy, r.space, r.numSearches+len(warm), r.seed)
+	if err != nil {
+		return rep, err
+	}
+	for _, h := range warm {
+		strat.Observe(h.Config, h.Seconds)
+	}
+	if len(r.warmStart) > 0 && r.logf != nil {
+		if dropped := len(r.warmStart) - len(warm); dropped > 0 {
+			r.logf("argo: warm start with %d prior observations (%d infeasible here, dropped)", len(warm), dropped)
+		} else {
+			r.logf("argo: warm start with %d prior observations", len(warm))
+		}
+	}
+
 	epoch := 0
-	logf := r.opts.Logf
-	for !tuner.Done() {
-		cfg := tuner.Next()
-		secs, err := train(cfg, 1)
+	sinceImprove := 0
+	// The incumbent is tracked through (value, have) rather than a zero
+	// sentinel: a run whose measurements all crash (non-finite) must
+	// count as stale, and a legitimate 0-second incumbent must not reset
+	// the early-stop counter forever.
+	incumbent, haveIncumbent := 0.0, false
+	if bc, by := strat.Best(); r.space.Feasible(bc) {
+		incumbent, haveIncumbent = by, true
+	}
+	for epoch < r.numSearches {
+		if err := ctx.Err(); err != nil {
+			// Keep the incumbent found so far: a partial report must not
+			// lose completed search observations.
+			rep.Best, rep.BestEpochSeconds = strat.Best()
+			rep.TunerOverhead = strat.Overhead()
+			return rep, fmt.Errorf("argo: search epoch %d: %w", epoch, err)
+		}
+		cfg, ok := strat.Next()
+		if !ok {
+			break // strategy exhausted (e.g. exhaustive over a small space)
+		}
+		secs, err := train(ctx, cfg, 1)
 		if err != nil {
+			rep.Best, rep.BestEpochSeconds = strat.Best()
+			rep.TunerOverhead = strat.Overhead()
 			return rep, fmt.Errorf("argo: search epoch %d (%s): %w", epoch, cfg, err)
 		}
-		tuner.Observe(cfg, secs)
-		rep.History = append(rep.History, EpochRecord{Epoch: epoch, Config: cfg, Seconds: secs, Phase: "search"})
-		rep.TotalSeconds += secs
-		if logf != nil {
-			logf("argo: search %d/%d %s epoch=%.3fs", epoch+1, r.opts.NumSearches, cfg, secs)
+		strat.Observe(cfg, secs)
+		rep.History = append(rep.History, EpochRecord{Epoch: epoch, Config: cfg, Seconds: secs, Phase: PhaseSearch})
+		if isFinite(secs) {
+			rep.TotalSeconds += secs
 		}
+		rep.SearchEpochs++
+		best, bestSecs := strat.Best()
+		if r.logf != nil {
+			r.logf("argo: search %d/%d %s epoch=%.3fs", epoch+1, r.numSearches, cfg, secs)
+		}
+		r.emit(Event{
+			Strategy: r.strategy, Epoch: epoch, Phase: PhaseSearch,
+			Config: cfg, Seconds: secs,
+			Best: best, BestSeconds: bestSecs, Searched: rep.SearchEpochs,
+		})
 		epoch++
+		if r.space.Feasible(best) && (!haveIncumbent || bestSecs < incumbent) {
+			incumbent, haveIncumbent = bestSecs, true
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if r.earlyStop > 0 && sinceImprove >= r.earlyStop {
+				if r.logf != nil {
+					r.logf("argo: early stop after %d stale search epochs", sinceImprove)
+				}
+				break
+			}
+		}
 	}
-	best, bestSecs := tuner.Best()
-	rep.Best, rep.BestEpochSeconds = best, bestSecs
-	rep.TunerOverhead = tuner.Overhead()
-	remaining := r.opts.Epochs - epoch
-	if remaining > 0 {
-		secs, err := train(best, remaining)
+	rep.Best, rep.BestEpochSeconds = strat.Best()
+	rep.TunerOverhead = strat.Overhead()
+	if rep.SearchEpochs == 0 && len(warm) == 0 {
+		return rep, fmt.Errorf("argo: strategy %q made no proposals", r.strategy)
+	}
+	// Every measurement may have been non-finite (the crashed-epoch
+	// signal): the strategy then has no incumbent and Best() returns the
+	// zero config, which must never drive the reuse phase.
+	if !r.space.Feasible(rep.Best) {
+		return rep, fmt.Errorf("argo: no feasible incumbent after %d search epochs (all measurements crashed?)", rep.SearchEpochs)
+	}
+
+	// Reuse phase: train the remaining epochs under the best
+	// configuration, one epoch at a time, recording each epoch's actual
+	// duration (not a duplicated mean) and honouring cancellation between
+	// epochs. BestEpochSeconds keeps the search-phase incumbent;
+	// ReuseEpochSeconds reports the reuse-phase mean separately. A
+	// configuration that starts crashing after the search phase must not
+	// silently burn the rest of the run: maxCrashedReuse consecutive
+	// non-finite measurements abort with the partial report.
+	const maxCrashedReuse = 3
+	var reuseTotal float64
+	reuseEpochs, crashedRun := 0, 0
+	for ; epoch < r.epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("argo: reuse epoch %d: %w", epoch, err)
+		}
+		secs, err := train(ctx, rep.Best, 1)
 		if err != nil {
-			return rep, fmt.Errorf("argo: reuse phase (%s): %w", best, err)
+			return rep, fmt.Errorf("argo: reuse phase (%s): %w", rep.Best, err)
 		}
-		rep.BestEpochSeconds = secs
-		for i := 0; i < remaining; i++ {
-			rep.History = append(rep.History, EpochRecord{Epoch: epoch + i, Config: best, Seconds: secs, Phase: "reuse"})
+		rep.History = append(rep.History, EpochRecord{Epoch: epoch, Config: rep.Best, Seconds: secs, Phase: PhaseReuse})
+		if isFinite(secs) {
+			rep.TotalSeconds += secs
+			reuseTotal += secs
+			reuseEpochs++
+			rep.ReuseEpochSeconds = reuseTotal / float64(reuseEpochs)
+			crashedRun = 0
+		} else {
+			crashedRun++
 		}
-		rep.TotalSeconds += secs * float64(remaining)
-		if logf != nil {
-			logf("argo: reuse %s for %d epochs, epoch=%.3fs", best, remaining, secs)
+		// Emit before any abort so the event stream stays one-to-one with
+		// the returned History.
+		r.emit(Event{
+			Strategy: r.strategy, Epoch: epoch, Phase: PhaseReuse,
+			Config: rep.Best, Seconds: secs,
+			Best: rep.Best, BestSeconds: rep.BestEpochSeconds, Searched: rep.SearchEpochs,
+		})
+		if crashedRun >= maxCrashedReuse {
+			return rep, fmt.Errorf("argo: %d consecutive crashed reuse epochs under %s", crashedRun, rep.Best)
 		}
+	}
+	if reuseEpochs > 0 && r.logf != nil {
+		r.logf("argo: reuse %s for %d epochs, mean epoch=%.3fs", rep.Best, reuseEpochs, rep.ReuseEpochSeconds)
 	}
 	return rep, nil
 }
@@ -202,8 +316,8 @@ func NewGNNTrainer(opts GNNTrainerOptions) (*GNNTrainer, error) {
 }
 
 // Step implements TrainStep.
-func (t *GNNTrainer) Step(cfg Config, epochs int) (float64, error) {
-	return t.inner.Step(cfg, epochs)
+func (t *GNNTrainer) Step(ctx context.Context, cfg Config, epochs int) (float64, error) {
+	return t.inner.Step(ctx, cfg, epochs)
 }
 
 // Evaluate returns validation accuracy under the current weights.

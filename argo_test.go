@@ -1,6 +1,7 @@
 package argo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -13,7 +14,39 @@ import (
 	"argo/internal/sampler"
 )
 
-func TestNewValidation(t *testing.T) {
+func TestNewRuntimeValidation(t *testing.T) {
+	bad := []struct {
+		epochs, searches int
+		opts             []Option
+	}{
+		{0, 0, nil},
+		{10, 0, nil},
+		{5, 10, nil},
+		{10, 3, []Option{WithTotalCores(-1)}},
+		{10, 3, []Option{WithStrategy("no-such-strategy")}},
+		{10, 3, []Option{WithEarlyStop(-1)}},
+		{10, 3, []Option{WithSpace(Space{})}},
+	}
+	for i, c := range bad {
+		if _, err := NewRuntime(c.epochs, c.searches, c.opts...); err == nil {
+			t.Fatalf("case %d must be rejected", i)
+		}
+	}
+	rt, err := NewRuntime(10, 3, WithTotalCores(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.SpaceSize() != 563 {
+		t.Fatalf("SpaceSize = %d, want 563 for 64 cores", rt.SpaceSize())
+	}
+	if rt.StrategyName() != StrategyBayesOpt {
+		t.Fatalf("default strategy %q, want %q", rt.StrategyName(), StrategyBayesOpt)
+	}
+}
+
+// The deprecated Options/New/RunLegacy shim must keep old callers working
+// against the new run loop.
+func TestLegacyShim(t *testing.T) {
 	bad := []Options{
 		{},
 		{Epochs: 10},
@@ -25,19 +58,29 @@ func TestNewValidation(t *testing.T) {
 			t.Fatalf("options %d must be rejected", i)
 		}
 	}
-	rt, err := New(Options{Epochs: 10, NumSearches: 3, TotalCores: 64})
+	var lines []string
+	rt, err := New(Options{Epochs: 6, NumSearches: 2, TotalCores: 64, Seed: 1,
+		Logf: func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rt.SpaceSize() != 563 {
-		t.Fatalf("SpaceSize = %d, want 563 for 64 cores", rt.SpaceSize())
+	rep, err := rt.RunLegacy(func(Config, int) (float64, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.History) != 6 {
+		t.Fatalf("legacy run recorded %d epochs, want 6", len(rep.History))
+	}
+	if len(lines) == 0 {
+		t.Fatal("legacy Logf not wired through")
 	}
 }
 
-// Run must implement Algorithm 1: NumSearches single-epoch probes, then a
-// single reuse call covering the remaining epochs with the best config.
+// Run must implement Algorithm 1: NumSearches single-epoch probes, then
+// per-epoch reuse of the best configuration (each reuse epoch recorded at
+// its own measured cost, not a duplicated mean).
 func TestRunFollowsAlgorithm1(t *testing.T) {
-	rt, err := New(Options{Epochs: 50, NumSearches: 8, TotalCores: 64, Seed: 1})
+	rt, err := NewRuntime(50, 8, WithTotalCores(64), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,38 +93,44 @@ func TestRunFollowsAlgorithm1(t *testing.T) {
 		dn := float64(cfg.Procs - 4)
 		return 2 + 0.3*dn*dn + 0.1*float64(cfg.SampleCores) + 0.05*float64(cfg.TrainCores)
 	}
-	rep, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+	rep, err := rt.Run(context.Background(), func(_ context.Context, cfg Config, epochs int) (float64, error) {
 		calls = append(calls, call{cfg, epochs})
 		return objective(cfg), nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(calls) != 9 {
-		t.Fatalf("expected 8 search calls + 1 reuse call, got %d", len(calls))
+	if len(calls) != 50 {
+		t.Fatalf("expected 50 per-epoch calls, got %d", len(calls))
 	}
-	for i := 0; i < 8; i++ {
-		if calls[i].epochs != 1 {
-			t.Fatalf("search call %d ran %d epochs", i, calls[i].epochs)
+	for i, c := range calls {
+		if c.epochs != 1 {
+			t.Fatalf("call %d ran %d epochs", i, c.epochs)
+		}
+		if i >= 8 && c.cfg != rep.Best {
+			t.Fatalf("reuse call %d used %v, want best %v", i, c.cfg, rep.Best)
 		}
 	}
-	last := calls[8]
-	if last.epochs != 42 {
-		t.Fatalf("reuse call ran %d epochs, want 42", last.epochs)
+	if rep.SearchEpochs != 8 {
+		t.Fatalf("SearchEpochs = %d, want 8", rep.SearchEpochs)
 	}
-	if last.cfg != rep.Best {
-		t.Fatal("reuse call must use the best configuration")
-	}
-	// The reported best must be the minimum of the searched epochs.
+	// The reported best must be the minimum of the searched epochs, and
+	// must not be overwritten by the reuse phase.
 	for _, h := range rep.History[:8] {
-		if objective(rep.Best) > h.Seconds {
-			t.Fatalf("best %v slower than searched %v", rep.Best, h.Config)
+		if rep.BestEpochSeconds > h.Seconds {
+			t.Fatalf("best %v slower than searched %v", rep.BestEpochSeconds, h.Seconds)
 		}
+	}
+	if rep.BestEpochSeconds != objective(rep.Best) {
+		t.Fatalf("BestEpochSeconds %v is not the search-phase observation %v", rep.BestEpochSeconds, objective(rep.Best))
+	}
+	if d := rep.ReuseEpochSeconds - objective(rep.Best); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("ReuseEpochSeconds %v, want reuse mean %v", rep.ReuseEpochSeconds, objective(rep.Best))
 	}
 	if len(rep.History) != 50 {
 		t.Fatalf("history has %d records, want 50", len(rep.History))
 	}
-	if rep.History[7].Phase != "search" || rep.History[8].Phase != "reuse" {
+	if rep.History[7].Phase != PhaseSearch || rep.History[8].Phase != PhaseReuse {
 		t.Fatal("phases mislabelled")
 	}
 	wantTotal := 0.0
@@ -91,21 +140,56 @@ func TestRunFollowsAlgorithm1(t *testing.T) {
 	if diff := rep.TotalSeconds - wantTotal; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("TotalSeconds %v != history sum %v", rep.TotalSeconds, wantTotal)
 	}
+	if rep.Strategy != StrategyBayesOpt {
+		t.Fatalf("report strategy %q", rep.Strategy)
+	}
+}
+
+// The reuse phase must record each epoch's actual measured duration, not
+// duplicate the phase mean across the history.
+func TestRunRecordsActualReuseEpochs(t *testing.T) {
+	rt, err := NewRuntime(10, 2, WithTotalCores(64), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	rep, err := rt.Run(context.Background(), func(_ context.Context, cfg Config, _ int) (float64, error) {
+		n++
+		return float64(n), nil // every epoch takes a different, known time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range rep.History {
+		if h.Seconds != float64(i+1) {
+			t.Fatalf("epoch %d recorded %.0fs, want %d", i, h.Seconds, i+1)
+		}
+	}
+	// Search best is min(1,2)=1; reuse mean is mean(3..10)=6.5. The two
+	// must stay separate.
+	if rep.BestEpochSeconds != 1 {
+		t.Fatalf("BestEpochSeconds %v overwritten (want search-phase 1)", rep.BestEpochSeconds)
+	}
+	if rep.ReuseEpochSeconds != 6.5 {
+		t.Fatalf("ReuseEpochSeconds %v, want 6.5", rep.ReuseEpochSeconds)
+	}
 }
 
 func TestRunPropagatesErrors(t *testing.T) {
-	rt, err := New(Options{Epochs: 10, NumSearches: 2, TotalCores: 64})
+	rt, err := NewRuntime(10, 2, WithTotalCores(64))
 	if err != nil {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	if _, err := rt.Run(func(Config, int) (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, err := rt.Run(context.Background(), func(context.Context, Config, int) (float64, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
 		t.Fatalf("search error not propagated: %v", err)
 	}
 	n := 0
-	if _, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+	if _, err := rt.Run(context.Background(), func(_ context.Context, cfg Config, epochs int) (float64, error) {
 		n++
-		if epochs > 1 {
+		if n > 2 {
 			return 0, boom
 		}
 		return 1, nil
@@ -114,22 +198,47 @@ func TestRunPropagatesErrors(t *testing.T) {
 	}
 }
 
-func TestRunLogs(t *testing.T) {
+func TestRunLogsAndEvents(t *testing.T) {
 	var lines []string
-	rt, err := New(Options{Epochs: 4, NumSearches: 2, TotalCores: 64, Logf: func(f string, a ...any) {
-		lines = append(lines, fmt.Sprintf(f, a...))
-	}})
+	var events []Event
+	rt, err := NewRuntime(4, 2, WithTotalCores(64),
+		WithLogf(func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) }),
+		WithEvents(func(e Event) { events = append(events, e) }),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.Run(func(Config, int) (float64, error) { return 1, nil }); err != nil {
+	if _, err := rt.Run(context.Background(), func(context.Context, Config, int) (float64, error) {
+		return 1, nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) != 3 {
-		t.Fatalf("expected 3 log lines, got %d", len(lines))
+		t.Fatalf("expected 3 log lines, got %d: %q", len(lines), lines)
 	}
 	if !strings.Contains(lines[2], "reuse") {
 		t.Fatalf("final line should describe the reuse phase: %q", lines[2])
+	}
+	if len(events) != 4 {
+		t.Fatalf("expected one event per epoch, got %d", len(events))
+	}
+	for i, e := range events {
+		if e.Epoch != i {
+			t.Fatalf("event %d has epoch %d", i, e.Epoch)
+		}
+		want := PhaseSearch
+		if i >= 2 {
+			want = PhaseReuse
+		}
+		if e.Phase != want {
+			t.Fatalf("event %d phase %q, want %q", i, e.Phase, want)
+		}
+		if e.Strategy != StrategyBayesOpt {
+			t.Fatalf("event %d strategy %q", i, e.Strategy)
+		}
+	}
+	if events[3].Searched != 2 {
+		t.Fatalf("final event Searched = %d, want 2", events[3].Searched)
 	}
 }
 
@@ -151,11 +260,11 @@ func TestRunFindsNearOptimalOnSimulator(t *testing.T) {
 	obj := platsim.NewObjective(sc)
 	_, optimal := platsim.BestWithBudget(sc, 64)
 
-	rt, err := New(Options{Epochs: 200, NumSearches: 20, TotalCores: 64, Seed: 7})
+	rt, err := NewRuntime(200, 20, WithTotalCores(64), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := rt.Run(func(cfg Config, epochs int) (float64, error) {
+	rep, err := rt.Run(context.Background(), func(_ context.Context, cfg Config, epochs int) (float64, error) {
 		return obj.Evaluate(cfg), nil
 	})
 	if err != nil {
@@ -194,11 +303,11 @@ func TestRunWithRealGNNTrainer(t *testing.T) {
 	}
 	defer trainer.Close()
 
-	rt, err := New(Options{Epochs: 10, NumSearches: 4, TotalCores: 16, Seed: 4})
+	rt, err := NewRuntime(10, 4, WithTotalCores(16), WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := rt.Run(trainer.Step)
+	rep, err := rt.Run(context.Background(), trainer.Step)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,28 +1,70 @@
 // Command argo-bench regenerates the tables and figures of the ARGO paper
-// on the platform simulator (plus the real-training convergence study).
+// on the platform simulator (plus the real-training convergence study),
+// and benchmarks the registered tuning strategies head-to-head through
+// the public runtime API, emitting a machine-readable BENCH_argo.json so
+// the performance trajectory can be tracked across commits.
 //
 // Usage:
 //
 //	argo-bench -list
 //	argo-bench -exp fig1
 //	argo-bench -exp all
+//	argo-bench -exp none -strategy all -json BENCH_argo.json
 //
 // See DESIGN.md §6 for the experiment ↔ paper mapping and EXPERIMENTS.md
 // for the recorded paper-vs-measured comparison.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"argo"
 	"argo/internal/experiments"
+	"argo/internal/graph"
+	"argo/internal/platform"
+	"argo/internal/platsim"
+	"argo/internal/search"
 )
 
+// strategyResult is one row of BENCH_argo.json: a tuning strategy run
+// through the public Runtime on the simulated platform.
+type strategyResult struct {
+	Strategy         string      `json:"strategy"`
+	Best             argo.Config `json:"best"`
+	BestEpochSeconds float64     `json:"best_epoch_seconds"`
+	// Quality is optimal/best — 1.0 means the strategy found the true
+	// optimum of the space.
+	Quality         float64 `json:"quality"`
+	SearchEpochs    int     `json:"search_epochs"`
+	TunerOverhead   string  `json:"tuner_overhead"`
+	TunerOverheadNs int64   `json:"tuner_overhead_ns"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
+// benchJSON is the whole emitted artifact.
+type benchJSON struct {
+	Scenario       string           `json:"scenario"`
+	TotalCores     int              `json:"total_cores"`
+	SpaceSize      int              `json:"space_size"`
+	Searches       int              `json:"searches"`
+	Epochs         int              `json:"epochs"`
+	OptimalSeconds float64          `json:"optimal_seconds"`
+	Strategies     []strategyResult `json:"strategies"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (see -list), or \"all\"")
+	exp := flag.String("exp", "all", "experiment to run (see -list), \"all\", or \"none\"")
 	list := flag.Bool("list", false, "list available experiments")
+	strategy := flag.String("strategy", "all",
+		"strategy benchmark: a registered name ("+strings.Join(argo.Strategies(), ", ")+"), \"all\", or \"none\"")
+	jsonPath := flag.String("json", "BENCH_argo.json", "where to write the strategy benchmark JSON")
+	searches := flag.Int("searches", 20, "online-learning budget per strategy (paper Table VI: 20 on 64 cores)")
 	flag.Parse()
 
 	if *list {
@@ -31,16 +73,133 @@ func main() {
 		}
 		return
 	}
-	names := []string{*exp}
-	if *exp == "all" {
-		names = experiments.Names()
-	}
-	for _, name := range names {
-		start := time.Now()
-		if err := experiments.Run(name, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "argo-bench: %s: %v\n", name, err)
+	strategySet := false
+	flag.Visit(func(f *flag.Flag) {
+		// An explicit -json is as clear a request for the benchmark
+		// artifact as an explicit -strategy.
+		if f.Name == "strategy" || f.Name == "json" {
+			strategySet = true
+		}
+	})
+	*strategy = strings.ToLower(strings.TrimSpace(*strategy))
+	// Fail fast on a typo'd strategy name before the (slow) experiments.
+	if *strategy != "all" && *strategy != "none" {
+		known := false
+		for _, n := range argo.Strategies() {
+			if n == *strategy {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "argo-bench: unknown strategy %q (registered: %s)\n",
+				*strategy, strings.Join(argo.Strategies(), ", "))
 			os.Exit(1)
 		}
-		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *exp != "none" {
+		names := []string{*exp}
+		if *exp == "all" {
+			names = experiments.Names()
+		}
+		for _, name := range names {
+			start := time.Now()
+			if err := experiments.Run(name, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "argo-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *strategy == "none" {
+		return
+	}
+	// A request for one specific experiment keeps its pre-redesign
+	// behaviour: the strategy benchmark (and its BENCH_argo.json) only
+	// runs when asked for explicitly or on a default full run.
+	if *exp != "all" && *exp != "none" && !strategySet {
+		return
+	}
+	if err := benchStrategies(*strategy, *searches, *jsonPath, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// benchStrategies runs each requested strategy through the public
+// Runtime.Run loop on the Table-IV simulator scenario (Neighbor-SAGE on
+// ogbn-products, 64-core Sapphire Rapids) with an identical budget, and
+// writes the comparison to jsonPath.
+func benchStrategies(which string, searches int, jsonPath string, w *os.File) error {
+	ds, err := graph.Spec("ogbn-products")
+	if err != nil {
+		return err
+	}
+	sc := platsim.Scenario{
+		Platform: platform.SapphireRapids2S,
+		Library:  platsim.DGL,
+		Sampler:  platsim.Neighbor,
+		Model:    platsim.SAGE,
+		Dataset:  ds,
+	}
+	const totalCores = 64
+	obj := platsim.NewObjective(sc)
+	space := argo.DefaultSpace(totalCores)
+	optimum := search.Exhaustive(space, obj).BestTime
+
+	names := argo.Strategies()
+	if which != "all" {
+		names = []string{which}
+	}
+	epochs := searches + 4 // a short reuse tail exercises the full loop
+	out := benchJSON{
+		Scenario:       "Neighbor-SAGE / ogbn-products / " + sc.Platform.Name,
+		TotalCores:     totalCores,
+		SpaceSize:      space.Size(),
+		Searches:       searches,
+		Epochs:         epochs,
+		OptimalSeconds: optimum,
+	}
+	fmt.Fprintf(w, "== strategy benchmark: %s, space %d, budget %d ==\n", out.Scenario, out.SpaceSize, searches)
+	for _, name := range names {
+		rt, err := argo.NewRuntime(epochs, searches,
+			argo.WithTotalCores(totalCores),
+			argo.WithStrategy(name),
+			argo.WithSeed(7),
+		)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
+			return obj.Evaluate(cfg), nil
+		})
+		if err != nil {
+			return fmt.Errorf("strategy %s: %w", name, err)
+		}
+		res := strategyResult{
+			Strategy:         name,
+			Best:             rep.Best,
+			BestEpochSeconds: rep.BestEpochSeconds,
+			Quality:          optimum / rep.BestEpochSeconds,
+			SearchEpochs:     rep.SearchEpochs,
+			TunerOverhead:    rep.TunerOverhead.String(),
+			TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
+			WallSeconds:      time.Since(start).Seconds(),
+		}
+		out.Strategies = append(out.Strategies, res)
+		fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",
+			name, rep.Best.String(), rep.BestEpochSeconds, res.Quality, rep.TunerOverhead.Round(time.Microsecond))
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "strategy benchmark written to %s\n", jsonPath)
+	return nil
 }

@@ -1,23 +1,51 @@
 // Command argo-sweep renders the epoch-time landscape of one setup over
 // the (processes × sampling-cores) plane at a fixed training-core count —
-// the data behind the paper's Fig. 7 heatmaps and Fig. 12 surface.
+// the data behind the paper's Fig. 7 heatmaps and Fig. 12 surface — and,
+// with -strategy, runs a registered tuning strategy over the full 3-D
+// space of the same setup to show what the online tuner would find.
 //
 // Usage:
 //
 //	argo-sweep -lib dgl -platform icelake -sampler neighbor -model sage \
-//	           -dataset reddit -t 6
+//	           -dataset reddit -t 6 [-strategy bayesopt -budget 45] \
+//	           [-json sweep.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strings"
 
+	"argo"
 	"argo/internal/experiments"
 	"argo/internal/platform"
 	"argo/internal/platsim"
 )
+
+// sweepJSON is the machine-readable form of one sweep: the heatmap plane
+// plus the optional strategy result on the full space.
+type sweepJSON struct {
+	Lib        string      `json:"lib"`
+	Platform   string      `json:"platform"`
+	Sampler    string      `json:"sampler_model"`
+	Dataset    string      `json:"dataset"`
+	TrainCores int         `json:"train_cores"`
+	Procs      []int       `json:"procs"`
+	Samples    []int       `json:"samples"`
+	Seconds    [][]float64 `json:"seconds"` // -1 marks infeasible corners (JSON has no +Inf)
+	PlaneBest  argo.Config `json:"plane_best"`
+	PlaneSecs  float64     `json:"plane_best_seconds"`
+
+	Strategy      string       `json:"strategy,omitempty"`
+	Budget        int          `json:"budget,omitempty"`
+	FoundBest     *argo.Config `json:"found_best,omitempty"`
+	FoundSecs     float64      `json:"found_best_seconds,omitempty"`
+	TunerOverhead string       `json:"tuner_overhead,omitempty"`
+}
 
 func main() {
 	lib := flag.String("lib", "dgl", "library profile: dgl or pyg")
@@ -26,6 +54,11 @@ func main() {
 	modelName := flag.String("model", "sage", "model: sage or gcn")
 	dataset := flag.String("dataset", "reddit", "dataset name")
 	trainCores := flag.Int("t", 6, "fixed training cores per process")
+	strategy := flag.String("strategy", "",
+		"also run a tuning strategy over the full 3-D space: "+strings.Join(argo.Strategies(), ", "))
+	budget := flag.Int("budget", 45, "strategy evaluation budget (with -strategy)")
+	jsonPath := flag.String("json", "", "write the sweep as JSON to this file")
+	seed := flag.Int64("seed", 7, "strategy random seed")
 	flag.Parse()
 
 	setup := experiments.Setup{Dataset: *dataset}
@@ -68,4 +101,67 @@ func main() {
 	}
 	hd.Render(os.Stdout, fmt.Sprintf("epoch time (s): %s / %s / %s / %s",
 		setup.Lib.Name, setup.SamplerModel(), *dataset, setup.Plat.Name))
+
+	out := sweepJSON{
+		Lib:        setup.Lib.Name,
+		Platform:   setup.Plat.Name,
+		Sampler:    setup.SamplerModel(),
+		Dataset:    *dataset,
+		TrainCores: *trainCores,
+		Procs:      hd.Procs,
+		Samples:    hd.Samples,
+		PlaneBest:  hd.Best,
+		PlaneSecs:  hd.BestSec,
+	}
+	for _, row := range hd.Seconds {
+		jr := make([]float64, len(row))
+		for j, v := range row {
+			if math.IsInf(v, 1) {
+				jr[j] = -1
+			} else {
+				jr[j] = v
+			}
+		}
+		out.Seconds = append(out.Seconds, jr)
+	}
+
+	if *strategy != "" {
+		space := argo.DefaultSpace(setup.Plat.TotalCores())
+		obj := platsim.NewObjective(setup.Scenario())
+		strat, err := argo.NewStrategy(*strategy, space, *budget, *seed)
+		if err != nil {
+			log.Fatalf("argo-sweep: %v", err)
+		}
+		evals := 0
+		for evals < *budget {
+			cfg, ok := strat.Next()
+			if !ok {
+				break
+			}
+			strat.Observe(cfg, obj.Evaluate(cfg))
+			evals++
+		}
+		best, secs := strat.Best()
+		fmt.Printf("strategy %s (%d/%d evals on the full %d-config space): %s at %.3fs, overhead %s\n",
+			*strategy, evals, *budget, space.Size(), best, secs, strat.Overhead().Round(1000))
+		out.Strategy = *strategy
+		out.Budget = *budget
+		out.FoundBest = &best
+		out.FoundSecs = secs
+		out.TunerOverhead = strat.Overhead().String()
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatalf("argo-sweep: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("argo-sweep: %v", err)
+		}
+		f.Close()
+		fmt.Printf("sweep written to %s\n", *jsonPath)
+	}
 }

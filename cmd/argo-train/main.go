@@ -1,18 +1,29 @@
 // Command argo-train trains a GNN for real (no simulation) on a scaled
-// synthetic dataset with ARGO's online auto-tuner picking the
-// multi-process configuration — the Go equivalent of the paper's
-// Listing 3 workflow.
+// synthetic dataset with an ARGO tuning strategy picking the
+// multi-process configuration online — the Go equivalent of the paper's
+// Listing 3 workflow. Ctrl-C cancels cleanly between epochs, leaving a
+// partial report.
 //
 // Usage:
 //
 //	argo-train -dataset ogbn-products -sampler neighbor -model sage \
-//	           -epochs 20 -searches 6 -batch 128 -cores 16
+//	           -epochs 20 -searches 6 -batch 128 -cores 16 \
+//	           -strategy bayesopt -report report.json
+//
+// A report written with -report can warm-start a later run via
+// -warmstart, skipping the cold random probes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"argo"
 	"argo/internal/graph"
@@ -25,11 +36,16 @@ func main() {
 	samplerName := flag.String("sampler", "neighbor", "sampling algorithm: neighbor or shadow")
 	modelName := flag.String("model", "sage", "GNN model: sage or gcn")
 	epochs := flag.Int("epochs", 20, "total training epochs")
-	searches := flag.Int("searches", 6, "auto-tuner online-learning epochs")
+	searches := flag.Int("searches", 6, "tuning-strategy online-learning epochs")
 	batch := flag.Int("batch", 128, "global mini-batch size")
 	cores := flag.Int("cores", 16, "virtual cores ARGO may bind")
 	lr := flag.Float64("lr", 0.01, "Adam learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
+	strategy := flag.String("strategy", argo.StrategyBayesOpt,
+		"tuning strategy: "+strings.Join(argo.Strategies(), ", "))
+	earlyStop := flag.Int("early-stop", 0, "stop searching after N stale search epochs (0 = off)")
+	reportPath := flag.String("report", "", "write the final report as JSON to this file")
+	warmPath := flag.String("warmstart", "", "warm-start the strategy from a previous -report JSON file")
 	flag.Parse()
 
 	ds, err := graph.BuildByName(*dataset, *seed)
@@ -70,31 +86,70 @@ func main() {
 	}
 	defer trainer.Close()
 
-	rt, err := argo.New(argo.Options{
-		Epochs:      *epochs,
-		NumSearches: *searches,
-		TotalCores:  *cores,
-		Seed:        *seed,
-		Logf: func(f string, a ...any) {
-			fmt.Printf(f+"\n", a...)
-		},
-	})
+	opts := []argo.Option{
+		argo.WithTotalCores(*cores),
+		argo.WithSeed(*seed),
+		argo.WithStrategy(*strategy),
+		argo.WithLogf(func(f string, a ...any) { fmt.Printf(f+"\n", a...) }),
+	}
+	if *earlyStop > 0 {
+		opts = append(opts, argo.WithEarlyStop(*earlyStop))
+	}
+	if *warmPath != "" {
+		f, err := os.Open(*warmPath)
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		prior, err := argo.ReadReport(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		opts = append(opts, argo.WithWarmStart(prior))
+	}
+	rt, err := argo.NewRuntime(*epochs, *searches, opts...)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}
-	fmt.Printf("design space: %d configurations on %d cores; exploring %d (%.1f%%)\n",
-		rt.SpaceSize(), *cores, *searches, 100*float64(*searches)/float64(rt.SpaceSize()))
+	fmt.Printf("strategy %s; design space: %d configurations on %d cores; exploring %d (%.1f%%)\n",
+		rt.StrategyName(), rt.SpaceSize(), *cores, *searches, 100*float64(*searches)/float64(rt.SpaceSize()))
 
-	report, err := rt.Run(trainer.Step)
-	if err != nil {
-		log.Fatalf("argo-train: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, runErr := rt.Run(ctx, trainer.Step)
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			fmt.Printf("argo-train: interrupted after %d epochs, reporting partial run\n", len(report.History))
+		} else {
+			log.Fatalf("argo-train: %v", runErr)
+		}
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		f.Close()
+		fmt.Printf("report written to %s\n", *reportPath)
 	}
 	acc, err := trainer.Evaluate()
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}
-	fmt.Printf("\nbest configuration: %s (%.4fs/epoch)\n", report.Best, report.BestEpochSeconds)
+	if report.Best == (argo.Config{}) {
+		fmt.Println("\nno configuration was measured before the run stopped")
+		return
+	}
+	fmt.Printf("\nbest configuration: %s (%.4fs/epoch during search", report.Best, report.BestEpochSeconds)
+	if report.ReuseEpochSeconds > 0 {
+		fmt.Printf(", %.4fs/epoch during reuse", report.ReuseEpochSeconds)
+	}
+	fmt.Printf(")\n")
 	fmt.Printf("total training time: %.2fs over %d epochs (tuner overhead %s)\n",
-		report.TotalSeconds, *epochs, report.TunerOverhead.Round(1000))
+		report.TotalSeconds, len(report.History), report.TunerOverhead.Round(1000))
 	fmt.Printf("validation accuracy: %.3f\n", acc)
 }

@@ -1,6 +1,7 @@
 package argo_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,8 +12,8 @@ import (
 )
 
 // ExampleRuntime_Run shows the paper's Listing-1 flow: wrap an existing
-// GNN training job in the ARGO runtime and let the online auto-tuner pick
-// the multi-process configuration. Seeds are fixed, so the output is
+// GNN training job in the ARGO runtime and let the online tuning strategy
+// pick the multi-process configuration. Seeds are fixed, so the output is
 // deterministic.
 func ExampleRuntime_Run() {
 	ds, err := graph.Build(graph.DatasetSpec{
@@ -36,19 +37,49 @@ func ExampleRuntime_Run() {
 	}
 	defer trainer.Close()
 
-	rt, err := argo.New(argo.Options{Epochs: 8, NumSearches: 3, TotalCores: 16, Seed: 4})
+	rt, err := argo.NewRuntime(8, 3,
+		argo.WithTotalCores(16),
+		argo.WithSeed(4),
+		argo.WithStrategy(argo.StrategyBayesOpt),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := rt.Run(trainer.Step)
+	report, err := rt.Run(context.Background(), trainer.Step)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("searched %d configurations, trained %d epochs\n", 3, trainer.Epochs())
+	fmt.Printf("searched %d configurations, trained %d epochs\n", report.SearchEpochs, trainer.Epochs())
 	fmt.Printf("best configuration uses %d processes\n", report.Best.Procs)
 	// Output:
 	// searched 3 configurations, trained 8 epochs
 	// best configuration uses 1 processes
+}
+
+// ExampleNewStrategy shows stepping a registered strategy directly — the
+// propose/observe loop Runtime.Run drives internally.
+func ExampleNewStrategy() {
+	space := argo.DefaultSpace(16)
+	strat, err := argo.NewStrategy(argo.StrategyExhaustive, space, space.Size(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evals := 0
+	for {
+		cfg, ok := strat.Next()
+		if !ok {
+			break
+		}
+		// A toy objective: prefer few processes and few cores.
+		strat.Observe(cfg, float64(cfg.TotalCores())+0.1*float64(cfg.Procs))
+		evals++
+	}
+	best, _ := strat.Best()
+	fmt.Printf("evaluated %d configurations\n", evals)
+	fmt.Printf("best: %s\n", best)
+	// Output:
+	// evaluated 140 configurations
+	// best: n=1 s=1 t=1
 }
 
 // ExampleDefaultSpace shows the configuration space the auto-tuner

@@ -2,16 +2,18 @@
 // training semantics (paper Fig. 9). Training with n processes on batch
 // shares of B/n plus synchronous gradient averaging follows the same
 // convergence curve as single-process training with batch B — this runs
-// the real Go training stack, not the simulator.
+// the real Go training stack through the public argo surface (a
+// GNNTrainer stepped at fixed configurations), not the simulator.
 //
 //	go run ./examples/convergence
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"argo/internal/engine"
+	"argo"
 	"argo/internal/graph"
 	"argo/internal/nn"
 	"argo/internal/sampler"
@@ -22,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	const epochs = 8
 	type curve struct {
 		label string
@@ -33,27 +36,32 @@ func main() {
 		if n == 1 {
 			label = "single "
 		}
-		e, err := engine.New(engine.Config{
-			Dataset:       ds,
-			Sampler:       sampler.NewNeighbor(ds.Graph, []int{15, 10, 5}),
-			Model:         nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Spec.ScaledF0, 32, 32, ds.NumClasses}, Seed: 21},
-			BatchSize:     64,
-			LR:            0.01,
-			NumProcs:      n,
-			SampleWorkers: 1,
-			TrainWorkers:  1,
-			Seed:          33,
+		trainer, err := argo.NewGNNTrainer(argo.GNNTrainerOptions{
+			Dataset:   ds,
+			Sampler:   sampler.NewNeighbor(ds.Graph, []int{15, 10, 5}),
+			Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Spec.ScaledF0, 32, 32, ds.NumClasses}, Seed: 21},
+			BatchSize: 64,
+			LR:        0.01,
+			Seed:      33,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		// A fixed configuration per curve — no tuning — isolates the
+		// multi-process semantics from the strategy.
+		cfg := argo.Config{Procs: n, SampleCores: 1, TrainCores: 1}
 		c := curve{label: label}
 		for ep := 0; ep < epochs; ep++ {
-			if _, err := e.RunEpoch(ep); err != nil {
+			if _, err := trainer.Step(ctx, cfg, 1); err != nil {
 				log.Fatal(err)
 			}
-			c.acc = append(c.acc, e.Evaluate(ds.ValIdx))
+			acc, err := trainer.Evaluate()
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.acc = append(c.acc, acc)
 		}
+		trainer.Close()
 		curves = append(curves, c)
 	}
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,14 +38,22 @@ func main() {
 	}
 	defer trainer.Close()
 
-	// 3. Wrap it in the ARGO runtime: the auto-tuner spends the first
-	//    NumSearches epochs learning the best (processes, sampling cores,
-	//    training cores) configuration, then reuses it.
-	rt, err := argo.New(argo.Options{Epochs: 12, NumSearches: 4, TotalCores: 16, Seed: 1})
+	// 3. Wrap it in the ARGO runtime: the tuning strategy (Bayesian
+	//    optimization by default — see argo.Strategies() for the rest)
+	//    spends the first 4 of 12 epochs learning the best (processes,
+	//    sampling cores, training cores) configuration, then reuses it.
+	//    The Event callback streams per-epoch progress.
+	rt, err := argo.NewRuntime(12, 4,
+		argo.WithTotalCores(16),
+		argo.WithSeed(1),
+		argo.WithEvents(func(e argo.Event) {
+			fmt.Printf("epoch %2d [%-6s] %-15s %.3fs\n", e.Epoch, e.Phase, e.Config, e.Seconds)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := rt.Run(trainer.Step)
+	report, err := rt.Run(context.Background(), trainer.Step)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,16 +1,19 @@
 // RL allocation: the paper's §VII-C generalizability discussion made
-// concrete. ARGO's auto-tuner — completely unchanged — allocates CPU
-// cores to RL Actors and GPU streaming multiprocessors to the Learner on
-// a simulated heterogeneous platform, balancing experience production
-// against gradient-step consumption.
+// concrete. ARGO's tuning strategies — completely unchanged — allocate
+// CPU cores to RL Actors and GPU streaming multiprocessors to the Learner
+// on a simulated heterogeneous platform, balancing experience production
+// against gradient-step consumption. The custom allocation space plugs
+// into the public runtime via WithSpace.
 //
 //	go run ./examples/rlallocation
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"argo/internal/bayesopt"
+	"argo"
 	"argo/internal/rlsim"
 	"argo/internal/search"
 )
@@ -27,14 +30,23 @@ func main() {
 		exh.Best.Procs, exh.Best.SampleCores, exh.Best.TrainCores, exh.BestTime)
 
 	budget := space.Size() / 20
-	tuner := bayesopt.NewTuner(space, budget, 3)
-	for !tuner.Done() {
-		cfg := tuner.Next()
-		tuner.Observe(cfg, obj.Evaluate(cfg))
+	rt, err := argo.NewRuntime(budget, budget,
+		argo.WithSpace(space),
+		argo.WithStrategy(argo.StrategyBayesOpt),
+		argo.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	best, secs := tuner.Best()
+	rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
+		return obj.Evaluate(cfg), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("auto-tuner (%d searches, 5%%): %d actor groups × %d cores, %d SM units → %.1fs (%.0f%% of optimal)\n",
-		budget, best.Procs, best.SampleCores, best.TrainCores, secs, 100*exh.BestTime/secs)
+		budget, rep.Best.Procs, rep.Best.SampleCores, rep.Best.TrainCores, rep.BestEpochSeconds,
+		100*exh.BestTime/rep.BestEpochSeconds)
 	fmt.Println("\nactors ↔ sampling cores, learner ↔ training cores: the same")
 	fmt.Println("black-box tuner that configures GNN training balances RL pipelines.")
 }

@@ -1,0 +1,3 @@
+module argo
+
+go 1.24

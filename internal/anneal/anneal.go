@@ -2,11 +2,17 @@
 // paper compares the auto-tuner against (Tables IV/V): a random global
 // search with geometric cooling, run on the same evaluation budget as the
 // Bayesian auto-tuner.
+//
+// The core type is the stepwise Annealer, which exposes the propose /
+// observe halves of each annealing step separately so a training runtime
+// can interleave real epoch measurements with the walk. Run wraps it for
+// offline use against a search.Objective.
 package anneal
 
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"argo/internal/search"
 )
@@ -17,50 +23,122 @@ type Options struct {
 	EndTemp   float64 // final temperature (default 0.01)
 }
 
-// Run performs simulated annealing over sp with the given evaluation
-// budget. Each step proposes a feasible one-dimension move; worse moves
-// are accepted with probability exp(−Δ/T) where Δ is the relative cost
-// increase and T cools geometrically from StartTemp to EndTemp.
-func Run(sp search.Space, obj search.Objective, budget int, rng *rand.Rand, opts Options) search.Result {
-	if opts.StartTemp <= 0 {
-		opts.StartTemp = 0.3
+func (o Options) withDefaults() Options {
+	if o.StartTemp <= 0 {
+		o.StartTemp = 0.3
 	}
-	if opts.EndTemp <= 0 {
-		opts.EndTemp = 0.01
+	if o.EndTemp <= 0 {
+		o.EndTemp = 0.01
 	}
-	var res search.Result
-	if budget <= 0 {
-		return res
-	}
-	cur := sp.Random(rng)
-	curY := obj.Evaluate(cur)
-	res.Best, res.BestTime = cur, curY
-	res.History = append(res.History, search.Eval{Config: cur, Time: curY})
-	res.Evals = 1
+	return o
+}
 
-	alpha := math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(budget-1)))
-	temp := opts.StartTemp
-	for res.Evals < budget {
-		nbrs := sp.Neighbors(cur)
-		var cand search.Config
-		if len(nbrs) == 0 || rng.Float64() < 0.1 {
-			// Occasional restart kick keeps the walk from being trapped
-			// in a feasibility corner.
-			cand = sp.Random(rng)
-		} else {
-			cand = nbrs[rng.Intn(len(nbrs))]
-		}
-		y := obj.Evaluate(cand)
-		res.Evals++
-		res.History = append(res.History, search.Eval{Config: cand, Time: y})
-		if y < res.BestTime {
-			res.Best, res.BestTime = cand, y
-		}
-		delta := (y - curY) / math.Max(curY, 1e-12)
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			cur, curY = cand, y
-		}
-		temp *= alpha
+// Annealer performs simulated annealing one proposal at a time. Each
+// Next proposes a feasible configuration (a one-dimension move from the
+// current point, with an occasional random restart kick); Observe records
+// its measured cost, applies the Metropolis acceptance rule with
+// probability exp(−Δ/T) on the relative cost increase Δ, and cools T
+// geometrically from StartTemp to EndTemp over the evaluation budget.
+type Annealer struct {
+	sp     search.Space
+	budget int
+	rng    *rand.Rand
+	opts   Options
+
+	cur      search.Config
+	curY     float64
+	haveCur  bool
+	observed int
+
+	inc search.Incumbent
+
+	temp, alpha float64
+	overhead    time.Duration
+}
+
+// NewAnnealer builds an annealer over sp with the given evaluation budget.
+func NewAnnealer(sp search.Space, budget int, rng *rand.Rand, opts Options) *Annealer {
+	opts = opts.withDefaults()
+	return &Annealer{
+		sp:     sp,
+		budget: budget,
+		rng:    rng,
+		opts:   opts,
+		temp:   opts.StartTemp,
+		alpha:  math.Pow(opts.EndTemp/opts.StartTemp, 1/math.Max(1, float64(budget-1))),
 	}
+}
+
+// Next proposes the next configuration to evaluate. ok is false once the
+// evaluation budget is exhausted.
+func (a *Annealer) Next() (search.Config, bool) {
+	start := time.Now()
+	defer func() { a.overhead += time.Since(start) }()
+	if a.observed >= a.budget {
+		return search.Config{}, false
+	}
+	if !a.haveCur {
+		return a.sp.Random(a.rng), true
+	}
+	nbrs := a.sp.Neighbors(a.cur)
+	if len(nbrs) == 0 || a.rng.Float64() < 0.1 {
+		// Occasional restart kick keeps the walk from being trapped in a
+		// feasibility corner.
+		return a.sp.Random(a.rng), true
+	}
+	return nbrs[a.rng.Intn(len(nbrs))], true
+}
+
+// Observe records an evaluated configuration and its cost, applying the
+// acceptance rule and cooling the temperature. Non-finite costs (a
+// crashed measurement) are rejected outright and excluded from the
+// incumbent.
+func (a *Annealer) Observe(c search.Config, y float64) {
+	start := time.Now()
+	defer func() { a.overhead += time.Since(start) }()
+	a.observed++
+	finite := search.IsFinite(y)
+	a.inc.Observe(c, y)
+	if !a.haveCur {
+		if finite {
+			a.cur, a.curY, a.haveCur = c, y, true
+		}
+		return
+	}
+	if finite {
+		delta := (y - a.curY) / math.Max(a.curY, 1e-12)
+		if delta <= 0 || a.rng.Float64() < math.Exp(-delta/a.temp) {
+			a.cur, a.curY = c, y
+		}
+	}
+	a.temp *= a.alpha
+}
+
+// Best returns the incumbent optimal configuration and its cost.
+func (a *Annealer) Best() (search.Config, float64) { return a.inc.Best() }
+
+// Observations returns how many costs have been recorded.
+func (a *Annealer) Observations() int { return a.observed }
+
+// Overhead returns the cumulative time spent proposing moves and applying
+// the acceptance rule — the tuning overhead outside the objective itself.
+func (a *Annealer) Overhead() time.Duration { return a.overhead }
+
+// Run performs simulated annealing over sp with the given evaluation
+// budget, driving an Annealer against obj.
+func Run(sp search.Space, obj search.Objective, budget int, rng *rand.Rand, opts Options) search.Result {
+	var res search.Result
+	a := NewAnnealer(sp, budget, rng, opts)
+	for {
+		c, ok := a.Next()
+		if !ok {
+			break
+		}
+		y := obj.Evaluate(c)
+		a.Observe(c, y)
+		res.History = append(res.History, search.Eval{Config: c, Time: y})
+		res.Evals++
+	}
+	res.Best, res.BestTime = a.Best()
 	return res
 }

@@ -1,7 +1,6 @@
 package bayesopt
 
 import (
-	"math"
 	"math/rand"
 	"time"
 
@@ -125,9 +124,7 @@ func (t *Tuner) finiteObservations() ([][]float64, []float64) {
 	return xs, ys
 }
 
-func isFinite(v float64) bool {
-	return !math.IsNaN(v) && !math.IsInf(v, 0)
-}
+func isFinite(v float64) bool { return search.IsFinite(v) }
 
 // Best returns the incumbent optimal configuration and its epoch time
 // (Algorithm 1's Tuner.get_opt).

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,8 +71,10 @@ func (tr *Trainer) Epoch() int { return tr.epoch }
 func (tr *Trainer) Config() search.Config { return tr.cfg }
 
 // Step trains `epochs` epochs under cfg and returns the mean wall-clock
-// epoch time in seconds. It satisfies the argo.TrainStep contract.
-func (tr *Trainer) Step(cfg search.Config, epochs int) (float64, error) {
+// epoch time in seconds. It satisfies the argo.TrainStep contract:
+// cancellation is honoured between epochs, returning ctx's error without
+// losing the model state accumulated so far.
+func (tr *Trainer) Step(ctx context.Context, cfg search.Config, epochs int) (float64, error) {
 	if epochs < 1 {
 		return 0, nil
 	}
@@ -80,6 +83,9 @@ func (tr *Trainer) Step(cfg search.Config, epochs int) (float64, error) {
 	}
 	var total time.Duration
 	for i := 0; i < epochs; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		res, err := tr.eng.RunEpoch(tr.epoch)
 		if err != nil {
 			return 0, err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"argo/internal/graph"
@@ -48,7 +50,7 @@ func TestTrainerStepRunsEpochs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	secs, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 3)
+	secs, err := tr.Step(context.Background(), search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +60,7 @@ func TestTrainerStepRunsEpochs(t *testing.T) {
 	if tr.Epoch() != 3 {
 		t.Fatalf("Epoch() = %d, want 3", tr.Epoch())
 	}
-	if _, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 0); err != nil {
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 0); err != nil {
 		t.Fatal("zero epochs must be a no-op")
 	}
 }
@@ -77,7 +79,7 @@ func TestTrainerCarriesWeightsAcrossConfigs(t *testing.T) {
 		{Procs: 2, SampleCores: 2, TrainCores: 2},
 	}
 	for _, cfg := range configs {
-		if _, err := tr.Step(cfg, 4); err != nil {
+		if _, err := tr.Step(context.Background(), cfg, 4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,7 +96,7 @@ func TestTrainerCarriesWeightsAcrossConfigs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fresh.Close()
-	if _, err := fresh.Step(configs[2], 4); err != nil {
+	if _, err := fresh.Step(context.Background(), configs[2], 4); err != nil {
 		t.Fatal(err)
 	}
 	freshAcc, err := fresh.Evaluate()
@@ -119,10 +121,10 @@ func TestTrainerReleasesCores(t *testing.T) {
 	defer tr.Close()
 	for i := 0; i < 5; i++ {
 		// 2×(1+2) = 6 of 8 cores; leaks would fail on the second pass.
-		if _, err := tr.Step(search.Config{Procs: 2, SampleCores: 1, TrainCores: 2}, 1); err != nil {
+		if _, err := tr.Step(context.Background(), search.Config{Procs: 2, SampleCores: 1, TrainCores: 2}, 1); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tr.Step(search.Config{Procs: 1, SampleCores: 2, TrainCores: 4}, 1); err != nil {
+		if _, err := tr.Step(context.Background(), search.Config{Procs: 1, SampleCores: 2, TrainCores: 4}, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -142,11 +144,11 @@ func TestTrainerRejectsOversizedConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if _, err := tr.Step(search.Config{Procs: 4, SampleCores: 2, TrainCores: 2}, 1); err == nil {
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 4, SampleCores: 2, TrainCores: 2}, 1); err == nil {
 		t.Fatal("16-core config on a 4-core binder must fail")
 	}
 	// The failed bind must not leak cores.
-	if _, err := tr.Step(search.Config{Procs: 1, SampleCores: 1, TrainCores: 3}, 1); err != nil {
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 1, SampleCores: 1, TrainCores: 3}, 1); err != nil {
 		t.Fatalf("valid config after failed bind: %v", err)
 	}
 }
@@ -163,5 +165,26 @@ func TestEvaluateWithoutStep(t *testing.T) {
 	}
 	if acc < 0 || acc > 1 {
 		t.Fatalf("accuracy %v out of range", acc)
+	}
+}
+
+// Cancellation must surface between epochs and leave the trainer usable.
+func TestTrainerStepHonoursContext(t *testing.T) {
+	tr, err := NewTrainer(trainerOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Step(ctx, cfg, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Step returned %v, want context.Canceled", err)
+	}
+	if tr.Epoch() != 0 {
+		t.Fatalf("cancelled Step trained %d epochs", tr.Epoch())
+	}
+	if _, err := tr.Step(context.Background(), cfg, 1); err != nil {
+		t.Fatalf("trainer unusable after cancellation: %v", err)
 	}
 }

@@ -12,9 +12,9 @@ import (
 // Config is one point of the design space: n processes, each bound to
 // s sampling cores and t training cores.
 type Config struct {
-	Procs       int // n
-	SampleCores int // s
-	TrainCores  int // t
+	Procs       int `json:"procs"`        // n
+	SampleCores int `json:"sample_cores"` // s
+	TrainCores  int `json:"train_cores"`  // t
 }
 
 // String renders "n=4 s=2 t=8".
@@ -148,24 +148,28 @@ func (r *Result) record(c Config, y float64) {
 // but intractably expensive baseline.
 func Exhaustive(sp Space, obj Objective) Result {
 	var res Result
-	for _, c := range sp.Enumerate() {
+	e := NewExhaustiveSearcher(sp)
+	for {
+		c, ok := e.Next()
+		if !ok {
+			return res
+		}
 		res.record(c, obj.Evaluate(c))
 	}
-	return res
 }
 
 // RandomSearch evaluates `budget` configurations drawn uniformly (with
 // replacement avoided best-effort).
 func RandomSearch(sp Space, obj Objective, budget int, rng *rand.Rand) Result {
 	var res Result
-	seen := map[Config]bool{}
-	for res.Evals < budget {
-		c := sp.Random(rng)
-		if seen[c] && len(seen) < sp.Size() {
-			continue
+	r := NewRandomSearcher(sp, budget, rng)
+	for {
+		c, ok := r.Next()
+		if !ok {
+			return res
 		}
-		seen[c] = true
-		res.record(c, obj.Evaluate(c))
+		y := obj.Evaluate(c)
+		r.Observe(c, y)
+		res.record(c, y)
 	}
-	return res
 }

@@ -1,0 +1,157 @@
+package argo
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Option configures a Runtime built with NewRuntime.
+type Option func(*Runtime) error
+
+// WithStrategy selects the tuning strategy by registered name (see
+// Strategies). The default is StrategyBayesOpt, the paper's auto-tuner.
+func WithStrategy(name string) Option {
+	return func(r *Runtime) error {
+		if !strategyRegistered(name) {
+			return fmt.Errorf("argo: unknown strategy %q (registered: %s)", name, strings.Join(Strategies(), ", "))
+		}
+		// Store the canonical registry form so Report.Strategy and
+		// Event.Strategy compare equal to the Strategy* constants.
+		r.strategy = strings.ToLower(strings.TrimSpace(name))
+		return nil
+	}
+}
+
+// WithTotalCores bounds the configuration space to a machine with the
+// given core count. The default is runtime.NumCPU().
+func WithTotalCores(n int) Option {
+	return func(r *Runtime) error {
+		if n < 1 {
+			return fmt.Errorf("argo: TotalCores must be ≥1, got %d", n)
+		}
+		r.totalCores = n
+		return nil
+	}
+}
+
+// WithSpace overrides the feasible configuration space entirely — for
+// non-GNN workloads (e.g. the RL allocation example) whose space is not
+// DefaultSpace-shaped. It takes precedence over WithTotalCores.
+func WithSpace(sp Space) Option {
+	return func(r *Runtime) error {
+		if sp.Size() == 0 {
+			return fmt.Errorf("argo: empty configuration space")
+		}
+		r.space = sp
+		r.haveSpace = true
+		return nil
+	}
+}
+
+// WithSeed seeds the strategy's random draws. Runs with the same seed,
+// space and training function are reproducible.
+func WithSeed(seed int64) Option {
+	return func(r *Runtime) error {
+		r.seed = seed
+		return nil
+	}
+}
+
+// WithLogf installs a printf-style logger receiving one line per tuning
+// step and one per reuse summary.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(r *Runtime) error {
+		r.logf = logf
+		return nil
+	}
+}
+
+// WithEvents installs a callback receiving one Event per completed epoch,
+// streaming run progress instead of waiting for the final Report.
+func WithEvents(fn EventFunc) Option {
+	return func(r *Runtime) error {
+		r.onEvent = fn
+		return nil
+	}
+}
+
+// WithEarlyStop stops the search phase once `patience` consecutive search
+// epochs fail to improve the incumbent, moving straight to the reuse
+// phase. Zero (the default) disables early stopping.
+func WithEarlyStop(patience int) Option {
+	return func(r *Runtime) error {
+		if patience < 0 {
+			return fmt.Errorf("argo: early-stop patience must be ≥0, got %d", patience)
+		}
+		r.earlyStop = patience
+		return nil
+	}
+}
+
+// WithWarmStart replays a previous run's search-phase observations into
+// the strategy before training starts, so a new run (same machine, same
+// workload shape) begins from learned knowledge instead of from scratch.
+// Warm-start observations do not consume the new run's online-learning
+// budget. Persist reports with Report.WriteJSON and reload with
+// ReadReport.
+func WithWarmStart(rep Report) Option {
+	return func(r *Runtime) error {
+		r.warmStart = append(r.warmStart, rep.searchHistory()...)
+		return nil
+	}
+}
+
+// Options is the legacy struct-field configuration of a Runtime.
+//
+// Deprecated: build runtimes with NewRuntime and functional options
+// instead; see the README migration table. Options and New are retained
+// so legacy construction code keeps compiling; call sites of the old
+// context-free Run(train) must switch to RunLegacy (or to Run with a
+// context).
+type Options struct {
+	// NumSearches is the online-learning budget: how many epochs are
+	// spent evaluating auto-tuner proposals (paper Table VI uses 5–6 % of
+	// the space: 35/45 on 112 cores, 20/25 on 64).
+	NumSearches int
+	// Epochs is the total number of training epochs, tuning included.
+	Epochs int
+	// TotalCores bounds the configuration space. Defaults to
+	// runtime.NumCPU().
+	TotalCores int
+	// Seed drives the tuner's random probes.
+	Seed int64
+	// Logf, when set, receives one line per tuning step.
+	Logf func(format string, args ...any)
+}
+
+// New validates opts and returns a Runtime.
+//
+// Deprecated: use NewRuntime with functional options.
+func New(opts Options) (*Runtime, error) {
+	var fns []Option
+	if opts.TotalCores != 0 {
+		fns = append(fns, WithTotalCores(opts.TotalCores))
+	}
+	if opts.Seed != 0 {
+		fns = append(fns, WithSeed(opts.Seed))
+	}
+	if opts.Logf != nil {
+		fns = append(fns, WithLogf(opts.Logf))
+	}
+	return NewRuntime(opts.Epochs, opts.NumSearches, fns...)
+}
+
+// TrainFunc is the pre-context training-step contract.
+//
+// Deprecated: implement TrainStep, which receives the run's context.
+type TrainFunc func(cfg Config, epochs int) (secondsPerEpoch float64, err error)
+
+// RunLegacy executes the run loop without cancellation support.
+//
+// Deprecated: use Run with a context.
+func (r *Runtime) RunLegacy(train TrainFunc) (Report, error) {
+	return r.Run(context.Background(), func(_ context.Context, cfg Config, epochs int) (float64, error) {
+		return train(cfg, epochs)
+	})
+}
