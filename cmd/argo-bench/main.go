@@ -10,6 +10,13 @@
 //	argo-bench -exp fig1
 //	argo-bench -exp all
 //	argo-bench -exp none -strategy all -json BENCH_argo.json
+//	argo-bench -exp none -dataset arxiv-sim,reddit-sim
+//
+// -dataset selects which workloads the strategy benchmark covers: a
+// comma-separated list of registry profiles (argo-data ls) and/or
+// .argograph file paths, or "all" for every paper profile. Each dataset
+// becomes one entry in BENCH_argo.json, so the strategy comparison runs
+// across scenario-diverse workloads.
 //
 // See DESIGN.md §6 for the experiment ↔ paper mapping and EXPERIMENTS.md
 // for the recorded paper-vs-measured comparison.
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"argo"
+	"argo/internal/datasets"
 	"argo/internal/experiments"
 	"argo/internal/graph"
 	"argo/internal/platform"
@@ -47,15 +55,22 @@ type strategyResult struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 }
 
-// benchJSON is the whole emitted artifact.
-type benchJSON struct {
+// datasetBench is the strategy comparison on one workload.
+type datasetBench struct {
+	Dataset        string           `json:"dataset"`
 	Scenario       string           `json:"scenario"`
-	TotalCores     int              `json:"total_cores"`
 	SpaceSize      int              `json:"space_size"`
-	Searches       int              `json:"searches"`
-	Epochs         int              `json:"epochs"`
 	OptimalSeconds float64          `json:"optimal_seconds"`
 	Strategies     []strategyResult `json:"strategies"`
+}
+
+// benchJSON is the whole emitted artifact: one entry per benchmarked
+// dataset.
+type benchJSON struct {
+	TotalCores int            `json:"total_cores"`
+	Searches   int            `json:"searches"`
+	Epochs     int            `json:"epochs"`
+	Datasets   []datasetBench `json:"datasets"`
 }
 
 func main() {
@@ -63,6 +78,9 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	strategy := flag.String("strategy", "all",
 		"strategy benchmark: a registered name ("+strings.Join(argo.Strategies(), ", ")+"), \"all\", or \"none\"")
+	datasetFlag := flag.String("dataset", "products-sim",
+		"strategy-benchmark workloads: comma-separated registry profiles ("+strings.Join(datasets.PaperNames(), ", ")+
+			") and/or .argograph paths, or \"all\" for every paper profile")
 	jsonPath := flag.String("json", "BENCH_argo.json", "where to write the strategy benchmark JSON")
 	searches := flag.Int("searches", 20, "online-learning budget per strategy (paper Table VI: 20 on 64 cores)")
 	flag.Parse()
@@ -75,9 +93,9 @@ func main() {
 	}
 	strategySet := false
 	flag.Visit(func(f *flag.Flag) {
-		// An explicit -json is as clear a request for the benchmark
-		// artifact as an explicit -strategy.
-		if f.Name == "strategy" || f.Name == "json" {
+		// An explicit -json or -dataset is as clear a request for the
+		// benchmark artifact as an explicit -strategy.
+		if f.Name == "strategy" || f.Name == "json" || f.Name == "dataset" {
 			strategySet = true
 		}
 	})
@@ -119,76 +137,115 @@ func main() {
 	if *exp != "all" && *exp != "none" && !strategySet {
 		return
 	}
-	if err := benchStrategies(*strategy, *searches, *jsonPath, os.Stdout); err != nil {
+	if err := benchStrategies(*strategy, *datasetFlag, *searches, *jsonPath, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// benchWorkload is one resolved -dataset entry.
+type benchWorkload struct {
+	name string
+	spec graph.DatasetSpec
+}
+
+// benchDatasets expands the -dataset flag and resolves every workload up
+// front, so a typo'd name fails fast instead of after minutes of
+// benchmarking the names before it.
+func benchDatasets(datasetFlag string) ([]benchWorkload, error) {
+	names := datasets.PaperNames()
+	if datasetFlag != "all" {
+		names = nil
+		for _, n := range strings.Split(datasetFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-dataset selected no workloads")
+	}
+	out := make([]benchWorkload, 0, len(names))
+	for _, n := range names {
+		spec, err := datasets.ResolveSpec(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, benchWorkload{name: n, spec: spec})
+	}
+	return out, nil
+}
+
 // benchStrategies runs each requested strategy through the public
-// Runtime.Run loop on the Table-IV simulator scenario (Neighbor-SAGE on
-// ogbn-products, 64-core Sapphire Rapids) with an identical budget, and
-// writes the comparison to jsonPath.
-func benchStrategies(which string, searches int, jsonPath string, w *os.File) error {
-	ds, err := graph.Spec("ogbn-products")
+// Runtime.Run loop on the Table-IV simulator setting (Neighbor-SAGE on a
+// 64-core Sapphire Rapids) once per requested dataset, with an identical
+// budget everywhere, and writes the per-dataset comparison to jsonPath.
+func benchStrategies(which, datasetFlag string, searches int, jsonPath string, w *os.File) error {
+	workloads, err := benchDatasets(datasetFlag)
 	if err != nil {
 		return err
 	}
-	sc := platsim.Scenario{
-		Platform: platform.SapphireRapids2S,
-		Library:  platsim.DGL,
-		Sampler:  platsim.Neighbor,
-		Model:    platsim.SAGE,
-		Dataset:  ds,
-	}
-	const totalCores = 64
-	obj := platsim.NewObjective(sc)
-	space := argo.DefaultSpace(totalCores)
-	optimum := search.Exhaustive(space, obj).BestTime
-
 	names := argo.Strategies()
 	if which != "all" {
 		names = []string{which}
 	}
+	const totalCores = 64
 	epochs := searches + 4 // a short reuse tail exercises the full loop
 	out := benchJSON{
-		Scenario:       "Neighbor-SAGE / ogbn-products / " + sc.Platform.Name,
-		TotalCores:     totalCores,
-		SpaceSize:      space.Size(),
-		Searches:       searches,
-		Epochs:         epochs,
-		OptimalSeconds: optimum,
+		TotalCores: totalCores,
+		Searches:   searches,
+		Epochs:     epochs,
 	}
-	fmt.Fprintf(w, "== strategy benchmark: %s, space %d, budget %d ==\n", out.Scenario, out.SpaceSize, searches)
-	for _, name := range names {
-		rt, err := argo.NewRuntime(epochs, searches,
-			argo.WithTotalCores(totalCores),
-			argo.WithStrategy(name),
-			argo.WithSeed(7),
-		)
-		if err != nil {
-			return err
+	for _, wl := range workloads {
+		dsName, spec := wl.name, wl.spec
+		sc := platsim.Scenario{
+			Platform: platform.SapphireRapids2S,
+			Library:  platsim.DGL,
+			Sampler:  platsim.Neighbor,
+			Model:    platsim.SAGE,
+			Dataset:  spec,
 		}
-		start := time.Now()
-		rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
-			return obj.Evaluate(cfg), nil
-		})
-		if err != nil {
-			return fmt.Errorf("strategy %s: %w", name, err)
+		obj := platsim.NewObjective(sc)
+		space := argo.DefaultSpace(totalCores)
+		optimum := search.Exhaustive(space, obj).BestTime
+		db := datasetBench{
+			Dataset:        dsName,
+			Scenario:       "Neighbor-SAGE / " + spec.Name + " / " + sc.Platform.Name,
+			SpaceSize:      space.Size(),
+			OptimalSeconds: optimum,
 		}
-		res := strategyResult{
-			Strategy:         name,
-			Best:             rep.Best,
-			BestEpochSeconds: rep.BestEpochSeconds,
-			Quality:          optimum / rep.BestEpochSeconds,
-			SearchEpochs:     rep.SearchEpochs,
-			TunerOverhead:    rep.TunerOverhead.String(),
-			TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
-			WallSeconds:      time.Since(start).Seconds(),
+		fmt.Fprintf(w, "== strategy benchmark: %s, space %d, budget %d ==\n", db.Scenario, db.SpaceSize, searches)
+		for _, name := range names {
+			rt, err := argo.NewRuntime(epochs, searches,
+				argo.WithTotalCores(totalCores),
+				argo.WithStrategy(name),
+				argo.WithSeed(7),
+			)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
+				return obj.Evaluate(cfg), nil
+			})
+			if err != nil {
+				return fmt.Errorf("strategy %s on %s: %w", name, dsName, err)
+			}
+			res := strategyResult{
+				Strategy:         name,
+				Best:             rep.Best,
+				BestEpochSeconds: rep.BestEpochSeconds,
+				Quality:          optimum / rep.BestEpochSeconds,
+				SearchEpochs:     rep.SearchEpochs,
+				TunerOverhead:    rep.TunerOverhead.String(),
+				TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
+				WallSeconds:      time.Since(start).Seconds(),
+			}
+			db.Strategies = append(db.Strategies, res)
+			fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",
+				name, rep.Best.String(), rep.BestEpochSeconds, res.Quality, rep.TunerOverhead.Round(time.Microsecond))
 		}
-		out.Strategies = append(out.Strategies, res)
-		fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",
-			name, rep.Best.String(), rep.BestEpochSeconds, res.Quality, rep.TunerOverhead.Round(time.Microsecond))
+		out.Datasets = append(out.Datasets, db)
 	}
 	f, err := os.Create(jsonPath)
 	if err != nil {
@@ -200,6 +257,6 @@ func benchStrategies(which string, searches int, jsonPath string, w *os.File) er
 	if err := enc.Encode(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "strategy benchmark written to %s\n", jsonPath)
+	fmt.Fprintf(w, "strategy benchmark (%d datasets) written to %s\n", len(out.Datasets), jsonPath)
 	return nil
 }

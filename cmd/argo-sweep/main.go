@@ -7,8 +7,11 @@
 // Usage:
 //
 //	argo-sweep -lib dgl -platform icelake -sampler neighbor -model sage \
-//	           -dataset reddit -t 6 [-strategy bayesopt -budget 45] \
+//	           -dataset reddit-sim -t 6 [-strategy bayesopt -budget 45] \
 //	           [-json sweep.json]
+//
+// -dataset accepts a registry profile name (argo-data ls), a legacy
+// graph-registry name, or a path to an .argograph store.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"strings"
 
 	"argo"
+	"argo/internal/datasets"
 	"argo/internal/experiments"
 	"argo/internal/platform"
 	"argo/internal/platsim"
@@ -52,7 +56,8 @@ func main() {
 	plat := flag.String("platform", "icelake", "platform: icelake or spr")
 	samplerName := flag.String("sampler", "neighbor", "sampler: neighbor or shadow")
 	modelName := flag.String("model", "sage", "model: sage or gcn")
-	dataset := flag.String("dataset", "reddit", "dataset name")
+	dataset := flag.String("dataset", "reddit-sim",
+		"dataset: a registry profile ("+strings.Join(datasets.Names(), ", ")+"), legacy name, or .argograph path")
 	trainCores := flag.Int("t", 6, "fixed training cores per process")
 	strategy := flag.String("strategy", "",
 		"also run a tuning strategy over the full 3-D space: "+strings.Join(argo.Strategies(), ", "))
@@ -61,7 +66,11 @@ func main() {
 	seed := flag.Int64("seed", 7, "strategy random seed")
 	flag.Parse()
 
-	setup := experiments.Setup{Dataset: *dataset}
+	spec, err := datasets.ResolveSpec(*dataset)
+	if err != nil {
+		log.Fatalf("argo-sweep: %v", err)
+	}
+	setup := experiments.Setup{Dataset: *dataset, Spec: &spec}
 	switch *lib {
 	case "dgl":
 		setup.Lib = platsim.DGL

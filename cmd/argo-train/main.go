@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	argo-train -dataset ogbn-products -sampler neighbor -model sage \
+//	argo-train -dataset products-sim -sampler neighbor -model sage \
 //	           -epochs 20 -searches 6 -batch 128 -cores 16 \
 //	           -strategy bayesopt -report report.json
+//
+// -dataset accepts a registry profile name (argo-data ls) or a path to a
+// .argograph store written by argo-data gen, so large graphs are
+// generated once and reloaded instantly on later runs.
 //
 // A report written with -report can warm-start a later run via
 // -warmstart, skipping the cold random probes.
@@ -26,13 +30,14 @@ import (
 	"syscall"
 
 	"argo"
-	"argo/internal/graph"
+	"argo/internal/datasets"
 	"argo/internal/nn"
 	"argo/internal/sampler"
 )
 
 func main() {
-	dataset := flag.String("dataset", "ogbn-products", "dataset name (flickr, reddit, ogbn-products, ogbn-papers100M)")
+	dataset := flag.String("dataset", "products-sim",
+		"dataset: a registry profile ("+strings.Join(datasets.Names(), ", ")+") or an .argograph file path")
 	samplerName := flag.String("sampler", "neighbor", "sampling algorithm: neighbor or shadow")
 	modelName := flag.String("model", "sage", "GNN model: sage or gcn")
 	epochs := flag.Int("epochs", 20, "total training epochs")
@@ -48,7 +53,7 @@ func main() {
 	warmPath := flag.String("warmstart", "", "warm-start the strategy from a previous -report JSON file")
 	flag.Parse()
 
-	ds, err := graph.BuildByName(*dataset, *seed)
+	ds, err := datasets.Resolve(*dataset, *seed)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}

@@ -14,13 +14,13 @@ import (
 	"log"
 
 	"argo"
-	"argo/internal/graph"
+	"argo/internal/datasets"
 	"argo/internal/nn"
 	"argo/internal/sampler"
 )
 
 func main() {
-	ds, err := graph.BuildByName("ogbn-products", 3)
+	ds, err := datasets.Resolve("products-sim", 3)
 	if err != nil {
 		log.Fatal(err)
 	}

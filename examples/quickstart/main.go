@@ -10,15 +10,18 @@ import (
 	"log"
 
 	"argo"
-	"argo/internal/graph"
+	"argo/internal/datasets"
 	"argo/internal/nn"
 	"argo/internal/sampler"
 )
 
 func main() {
-	// 1. Load a dataset (a scaled synthetic stand-in for ogbn-products;
-	//    see DESIGN.md §2 for the substitution).
-	ds, err := graph.BuildByName("ogbn-products", 1)
+	// 1. Load a dataset from the workload registry (a scaled synthetic
+	//    stand-in for ogbn-products; argo-data ls shows the rest). Passing
+	//    a path to an .argograph store generated with
+	//    `argo-data gen -dataset products-sim -o products.argograph`
+	//    instead skips generation entirely.
+	ds, err := datasets.Resolve("products-sim", 1)
 	if err != nil {
 		log.Fatal(err)
 	}

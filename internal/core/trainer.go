@@ -148,6 +148,9 @@ func (tr *Trainer) bind(cfg search.Config) error {
 	}
 	if tr.weights != nil {
 		if err := eng.ImportWeights(tr.weights); err != nil {
+			if relErr := tr.opts.Binder.Release(cores); relErr != nil {
+				return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
+			}
 			return err
 		}
 	}

@@ -188,3 +188,35 @@ func TestTrainerStepHonoursContext(t *testing.T) {
 		t.Fatalf("trainer unusable after cancellation: %v", err)
 	}
 }
+
+// A failed weight import during re-launch must release the cores the new
+// engine had already been allocated — otherwise every failed re-bind
+// shrinks the machine until nothing fits.
+func TestBindReleasesCoresWhenImportFails(t *testing.T) {
+	opts := trainerOpts(t)
+	spec := platform.Spec{Name: "tiny", Sockets: 1, CoresPerSocket: 8}
+	opts.Binder = platform.NewAllocator(spec)
+	tr, err := NewTrainer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the model between re-launches: the next bind exports the old
+	// engine's weights, then ImportWeights into the reshaped new engine
+	// fails — after the new engine's cores were already allocated.
+	tr.opts.Model.Dims = []int{12, 6, 4}
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 2, SampleCores: 1, TrainCores: 1}, 1); err == nil {
+		t.Fatal("mismatched weight import must fail the step")
+	}
+	if free := opts.Binder.Free(); free != 8 {
+		t.Fatalf("after failed import, %d of 8 cores free (cores leaked)", free)
+	}
+	// The trainer must still be usable once the carried weights are gone.
+	tr.weights = nil
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}, 1); err != nil {
+		t.Fatalf("trainer unusable after failed re-bind: %v", err)
+	}
+}

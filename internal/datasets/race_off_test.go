@@ -1,0 +1,5 @@
+//go:build !race
+
+package datasets
+
+const raceEnabled = false

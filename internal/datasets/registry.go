@@ -1,0 +1,182 @@
+// Package datasets makes the training workload a first-class, loadable
+// artifact. It provides a named registry of paper-matched synthetic
+// workload profiles — scaled stand-ins for the graphs of the paper's
+// Table III — and resolution helpers that turn a registry name or an
+// .argograph file path into a materialised graph.Dataset. Together with
+// the binary store in internal/graph this lets a graph be generated once
+// (cmd/argo-data) and reloaded in milliseconds by every cmd and test
+// thereafter.
+package datasets
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"argo/internal/graph"
+)
+
+// Profile is one registry entry: a human-readable description plus the
+// full dataset specification (paper-scale statistics and scaled
+// synthetic-instance parameters).
+type Profile struct {
+	Name        string
+	Description string
+	Spec        graph.DatasetSpec
+}
+
+// registry lists the workload profiles in paper (Table III) order, with
+// `tiny` first as the test workload. The *-sim names are the sized-down
+// synthetic stand-ins; their Paper stats carry the full-scale numbers the
+// platform simulator consumes.
+var registry = []Profile{
+	{
+		Name:        "tiny",
+		Description: "minimal planted-community graph for tests and demos",
+		Spec: graph.DatasetSpec{
+			Name:        "tiny",
+			Paper:       graph.PaperStats{Vertices: 120, Edges: 480, F0: 16, F1: 8, F2: 3},
+			ScaledNodes: 120, ScaledEdges: 480,
+			ScaledF0: 16, ScaledHidden: 8, ScaledClasses: 3,
+			Homophily: 0.7, Exponent: 2.1, TrainFrac: 0.5,
+		},
+	},
+	{
+		Name:        "flickr-sim",
+		Description: "scaled stand-in for Flickr (89k nodes, 900k edges)",
+	},
+	{
+		Name:        "arxiv-sim",
+		Description: "scaled stand-in for ogbn-arxiv (169k nodes, 1.2M edges)",
+		Spec: graph.DatasetSpec{
+			Name:        "ogbn-arxiv",
+			Paper:       graph.PaperStats{Vertices: 169_343, Edges: 1_166_243, F0: 128, F1: 128, F2: 40},
+			ScaledNodes: 2_000, ScaledEdges: 26_000,
+			ScaledF0: 64, ScaledHidden: 32, ScaledClasses: 10,
+			Homophily: 0.65, Exponent: 2.3, TrainFrac: 0.54,
+		},
+	},
+	{
+		Name:        "reddit-sim",
+		Description: "scaled stand-in for Reddit (233k nodes, 11.6M edges)",
+	},
+	{
+		Name:        "products-sim",
+		Description: "scaled stand-in for ogbn-products (2.4M nodes, 61.9M edges)",
+	},
+	{
+		Name:        "papers100m-sim",
+		Description: "scaled stand-in for ogbn-papers100M (111M nodes, 1.6B edges)",
+	},
+}
+
+// The four datasets already specified in graph.Registry keep a single
+// source of truth there; the registry above only aliases them under the
+// *-sim profile names.
+var graphAliases = map[string]string{
+	"flickr-sim":     "flickr",
+	"reddit-sim":     "reddit",
+	"products-sim":   "ogbn-products",
+	"papers100m-sim": "ogbn-papers100M",
+}
+
+func init() {
+	for i := range registry {
+		if base, ok := graphAliases[registry[i].Name]; ok {
+			spec, err := graph.Spec(base)
+			if err != nil {
+				panic(err) // the alias table names a missing graph registry entry
+			}
+			registry[i].Spec = spec
+		}
+	}
+}
+
+// Names returns the registered profile names in registry order (tiny
+// first, then the paper's Table III order).
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PaperNames returns the profiles that stand in for the paper's
+// benchmark datasets — everything except tiny — in registry order.
+func PaperNames() []string {
+	var out []string
+	for _, p := range registry {
+		if p.Name != "tiny" {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Get returns the profile registered under name. Legacy graph-registry
+// names ("flickr", "ogbn-products", …) resolve too, so older scripts keep
+// working.
+func Get(name string) (Profile, error) {
+	for _, p := range registry {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	if spec, err := graph.Spec(name); err == nil {
+		return Profile{Name: name, Description: "graph registry entry", Spec: spec}, nil
+	}
+	known := append(Names(), legacyNames()...)
+	sort.Strings(known)
+	return Profile{}, fmt.Errorf("datasets: unknown profile %q (registered: %s)", name, strings.Join(known, ", "))
+}
+
+func legacyNames() []string {
+	var out []string
+	for _, s := range graph.Registry {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Build materialises the named profile's scaled synthetic instance with
+// the given seed.
+func Build(name string, seed int64) (*graph.Dataset, error) {
+	p, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Build(p.Spec, seed)
+}
+
+// Resolve turns a registry name or an .argograph file path into a
+// materialised dataset: names are generated with the given seed, paths
+// are loaded from the binary store (the seed is ignored — the stored
+// graph is already materialised).
+func Resolve(nameOrPath string, seed int64) (*graph.Dataset, error) {
+	p, gerr := Get(nameOrPath)
+	if gerr == nil {
+		return graph.Build(p.Spec, seed)
+	}
+	if _, serr := os.Stat(nameOrPath); serr != nil {
+		return nil, fmt.Errorf("%w; and no such file: %v", gerr, serr)
+	}
+	return graph.LoadDataset(nameOrPath)
+}
+
+// ResolveSpec returns just the dataset specification for a registry name
+// or an .argograph path — what the platform simulator consumes when no
+// materialised graph is needed. For paths only the store's spec header
+// is read (graph.LoadSpec), so arbitrarily large stores resolve in
+// microseconds.
+func ResolveSpec(nameOrPath string) (graph.DatasetSpec, error) {
+	p, gerr := Get(nameOrPath)
+	if gerr == nil {
+		return p.Spec, nil
+	}
+	if _, serr := os.Stat(nameOrPath); serr != nil {
+		return graph.DatasetSpec{}, fmt.Errorf("%w; and no such file: %v", gerr, serr)
+	}
+	return graph.LoadSpec(nameOrPath)
+}

@@ -1,0 +1,102 @@
+package datasets
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"argo/internal/graph"
+)
+
+// The point of the binary store: reloading a stored graph must beat
+// regenerating it by at least an order of magnitude. Each side takes the
+// MINIMUM over several runs — the standard estimator for "how fast can
+// this go" — so a GC pause or a noisy CI neighbour during some runs
+// cannot flip the verdict (one clean run per side suffices).
+func TestLoadBeatsBuildTenfold(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the build/load timing ratio")
+	}
+	const name, seed = "arxiv-sim", 7
+	path := filepath.Join(t.TempDir(), name+".argograph")
+	ds, err := Build(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	build := fastest(5, func() {
+		if _, err := Build(name, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	load := fastest(5, func() {
+		if _, err := graph.LoadDataset(path); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("build %v, load %v (%.1fx)", build, load, float64(build)/float64(load))
+	if load*10 > build {
+		t.Fatalf("load %v not ≥10x faster than build %v", load, build)
+	}
+}
+
+func fastest(runs int, f func()) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func BenchmarkBuildArxivSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build("arxiv-sim", 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadArxivSim(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "arxiv.argograph")
+	ds, err := Build("arxiv-sim", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.LoadDataset(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaveArxivSim(b *testing.B) {
+	dir := b.TempDir()
+	ds, err := Build("arxiv-sim", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.Save(filepath.Join(dir, "arxiv.argograph")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

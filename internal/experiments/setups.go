@@ -22,13 +22,23 @@ type Setup struct {
 	Sampler platsim.SamplerKind
 	Model   platsim.ModelKind
 	Dataset string
+	// Spec, when non-nil, supplies the dataset specification directly —
+	// for workloads resolved outside the graph registry (a *-sim profile
+	// or a loaded .argograph store). Dataset stays the display name.
+	Spec *graph.DatasetSpec
 }
 
 // Scenario materialises the setup's simulator scenario.
 func (s Setup) Scenario() platsim.Scenario {
-	ds, err := graph.Spec(s.Dataset)
-	if err != nil {
-		panic(err) // setups are compile-time constants; a bad name is a bug
+	ds := graph.DatasetSpec{}
+	if s.Spec != nil {
+		ds = *s.Spec
+	} else {
+		var err error
+		ds, err = graph.Spec(s.Dataset)
+		if err != nil {
+			panic(err) // setups are compile-time constants; a bad name is a bug
+		}
 	}
 	return platsim.Scenario{
 		Platform: s.Plat,

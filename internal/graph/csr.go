@@ -119,6 +119,11 @@ func (g *CSR) Validate() error {
 		if g.RowPtr[v+1] < g.RowPtr[v] {
 			return fmt.Errorf("graph: RowPtr not monotone at %d", v)
 		}
+		// Bounds before slicing: Validate runs on untrusted decoded stores,
+		// so an out-of-range row pointer must be an error, not a panic.
+		if g.RowPtr[v+1] > int64(len(g.Col)) {
+			return fmt.Errorf("graph: RowPtr[%d] = %d exceeds len(Col) %d", v+1, g.RowPtr[v+1], len(g.Col))
+		}
 		adj := g.Neighbors(NodeID(v))
 		for i, u := range adj {
 			if u < 0 || int(u) >= g.NumNodes {

@@ -1,0 +1,578 @@
+package graph
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"argo/internal/tensor"
+)
+
+// The .argograph container: a fixed 32-byte header followed by a single
+// checksummed payload.
+//
+//	offset  size  field
+//	0       8     magic "ARGOGRPH"
+//	8       4     format version (little-endian uint32)
+//	12      4     payload kind: 1 = Dataset, 2 = CSR
+//	16      8     payload length in bytes
+//	24      4     CRC-32C (Castagnoli) of the payload
+//	28      4     reserved, zero
+//
+// The payload is a flat little-endian encoding (see encodeDataset /
+// encodeCSR). Every multi-byte integer is little-endian; floats are stored
+// as their IEEE-754 bit patterns, so features round-trip bit-exactly. The
+// header checksum means corruption anywhere in the payload — a flipped
+// bit, a truncated tail — is detected before any field is trusted.
+const (
+	storeMagic   = "ARGOGRPH"
+	storeVersion = 1
+
+	storeKindDataset = 1
+	storeKindCSR     = 2
+
+	storeHeaderLen = 32
+)
+
+// CRC-32C has hardware support on both amd64 and arm64, which keeps the
+// integrity check far off the load critical path (multiple GB/s).
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Write serialises the dataset in .argograph format.
+func (d *Dataset) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid dataset: %w", err)
+	}
+	payload, err := encodeDataset(d)
+	if err != nil {
+		return err
+	}
+	return writeContainer(w, storeKindDataset, payload)
+}
+
+// Save writes the dataset to path in .argograph format. The file is
+// written to a temporary sibling first and renamed into place, so readers
+// never observe a torn store.
+func (d *Dataset) Save(path string) error {
+	return saveAtomic(path, func(w io.Writer) error { return d.Write(w) })
+}
+
+// ReadDataset deserialises a dataset written with Dataset.Write. The
+// header, checksum, and every structural invariant (CSR shape, label
+// range, split bounds) are verified before the dataset is returned.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	payload, err := readContainer(r, storeKindDataset)
+	if err != nil {
+		return nil, err
+	}
+	d, err := decodeDataset(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: stored dataset invalid: %w", err)
+	}
+	return d, nil
+}
+
+// ReadSpec decodes only the DatasetSpec from a .argograph dataset store
+// — the spec is the first payload field, so arbitrarily large stores
+// yield their metadata without materialising topology or features. The
+// header is validated but the payload checksum is NOT (it covers bytes
+// this function never reads); use ReadDataset / argo-data verify for
+// integrity.
+func ReadSpec(r io.Reader) (DatasetSpec, error) {
+	payloadLen, _, err := readHeader(r, storeKindDataset)
+	if err != nil {
+		return DatasetSpec{}, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return DatasetSpec{}, fmt.Errorf("graph: truncated .argograph payload: %w", err)
+	}
+	specLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if uint64(specLen)+4 > payloadLen || specLen > 1<<20 {
+		return DatasetSpec{}, fmt.Errorf("graph: spec of %d bytes exceeds payload", specLen)
+	}
+	specJSON := make([]byte, specLen)
+	if _, err := io.ReadFull(r, specJSON); err != nil {
+		return DatasetSpec{}, fmt.Errorf("graph: truncated .argograph payload: %w", err)
+	}
+	var spec DatasetSpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return DatasetSpec{}, fmt.Errorf("graph: decoding stored spec: %w", err)
+	}
+	return spec, nil
+}
+
+// LoadSpec reads just the DatasetSpec from a .argograph store at path
+// (see ReadSpec for the integrity caveat).
+func LoadSpec(path string) (DatasetSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DatasetSpec{}, err
+	}
+	defer f.Close()
+	spec, err := ReadSpec(f)
+	if err != nil {
+		return DatasetSpec{}, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// LoadDataset reads a .argograph dataset store from path.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadDataset(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Write serialises the CSR graph alone in .argograph format (payload kind
+// 2), for callers that persist topology without features or labels.
+func (g *CSR) Write(w io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid CSR: %w", err)
+	}
+	var e enc
+	encodeCSR(&e, g)
+	return writeContainer(w, storeKindCSR, e.buf)
+}
+
+// Save writes the CSR graph to path, atomically (see Dataset.Save).
+func (g *CSR) Save(path string) error {
+	return saveAtomic(path, func(w io.Writer) error { return g.Write(w) })
+}
+
+// ReadCSR deserialises a graph written with CSR.Write, verifying the
+// checksum and the CSR structural invariants.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	payload, err := readContainer(r, storeKindCSR)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{buf: payload}
+	g := decodeCSR(&d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("graph: %d trailing payload bytes", len(d.buf)-d.off)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: stored CSR invalid: %w", err)
+	}
+	return g, nil
+}
+
+// LoadCSR reads a .argograph CSR store from path.
+func LoadCSR(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadCSR(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Validate checks every structural invariant the training stack relies
+// on: a valid CSR, features covering every node, labels within the class
+// range, and split indices in bounds and mutually disjoint. It is the
+// gate both sides of the binary store go through.
+func (d *Dataset) Validate() error {
+	if d.Graph == nil {
+		return fmt.Errorf("graph: dataset has no graph")
+	}
+	if err := d.Graph.Validate(); err != nil {
+		return err
+	}
+	n := d.Graph.NumNodes
+	if d.Features == nil {
+		return fmt.Errorf("graph: dataset has no features")
+	}
+	if d.Features.Rows != n {
+		return fmt.Errorf("graph: %d feature rows for %d nodes", d.Features.Rows, n)
+	}
+	if d.Features.Cols < 1 {
+		return fmt.Errorf("graph: feature width %d", d.Features.Cols)
+	}
+	if len(d.Features.Data) != d.Features.Rows*d.Features.Cols {
+		return fmt.Errorf("graph: feature storage %d for %dx%d", len(d.Features.Data), d.Features.Rows, d.Features.Cols)
+	}
+	if d.NumClasses < 1 {
+		return fmt.Errorf("graph: %d classes", d.NumClasses)
+	}
+	if len(d.Labels) != n {
+		return fmt.Errorf("graph: %d labels for %d nodes", len(d.Labels), n)
+	}
+	for v, c := range d.Labels {
+		if c < 0 || int(c) >= d.NumClasses {
+			return fmt.Errorf("graph: node %d label %d outside [0,%d)", v, c, d.NumClasses)
+		}
+	}
+	seen := make([]bool, n)
+	for _, split := range []struct {
+		name string
+		ids  []NodeID
+	}{{"train", d.TrainIdx}, {"val", d.ValIdx}, {"test", d.TestIdx}} {
+		for _, v := range split.ids {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("graph: %s index %d outside [0,%d)", split.name, v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("graph: node %d appears in two splits (train/test leakage)", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(d.TrainIdx) == 0 {
+		return fmt.Errorf("graph: empty training split")
+	}
+	return nil
+}
+
+// writeContainer frames payload with the .argograph header.
+func writeContainer(w io.Writer, kind uint32, payload []byte) error {
+	var hdr [storeHeaderLen]byte
+	copy(hdr[:8], storeMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], storeVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], kind)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(payload, storeCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readHeader reads and validates the fixed .argograph header, returning
+// the declared payload length and checksum. Truncated input, a foreign
+// or corrupted header, a version from the future, and the wrong payload
+// kind are all distinct errors.
+func readHeader(r io.Reader, wantKind uint32) (payloadLen uint64, checksum uint32, err error) {
+	var hdr [storeHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("graph: reading .argograph header: %w", err)
+	}
+	if string(hdr[:8]) != storeMagic {
+		return 0, 0, fmt.Errorf("graph: not an .argograph store (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != storeVersion {
+		return 0, 0, fmt.Errorf("graph: unsupported .argograph version %d (supported: %d)", v, storeVersion)
+	}
+	if k := binary.LittleEndian.Uint32(hdr[12:]); k != wantKind {
+		return 0, 0, fmt.Errorf("graph: .argograph payload kind %d, want %d", k, wantKind)
+	}
+	return binary.LittleEndian.Uint64(hdr[16:]), binary.LittleEndian.Uint32(hdr[24:]), nil
+}
+
+// readContainer reads the header via readHeader, then the payload,
+// verifying its checksum before any field is trusted.
+func readContainer(r io.Reader, wantKind uint32) ([]byte, error) {
+	payloadLen, checksum, err := readHeader(r, wantKind)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if payloadLen <= 1<<26 {
+		// Sane sizes get a single allocation and one read.
+		payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("graph: truncated .argograph payload: %w", err)
+		}
+	} else {
+		// A header declaring a huge payload is more likely corruption than
+		// a 64MB+ graph: grow while reading instead of trusting the length
+		// with one giant allocation, so corruption fails cleanly, not OOM.
+		var err error
+		payload, err = io.ReadAll(io.LimitReader(r, int64(payloadLen)))
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading .argograph payload: %w", err)
+		}
+		if uint64(len(payload)) != payloadLen {
+			return nil, fmt.Errorf("graph: truncated .argograph payload: %d of %d bytes", len(payload), payloadLen)
+		}
+	}
+	if sum := crc32.Checksum(payload, storeCRC); sum != checksum {
+		return nil, fmt.Errorf("graph: .argograph checksum mismatch (payload corrupted)")
+	}
+	return payload, nil
+}
+
+// saveAtomic writes via a temporary file in path's directory and renames
+// it into place.
+func saveAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp's 0600 would make the store unreadable by other users;
+	// stores are shared artifacts, so give them ordinary file permissions.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Payload layout (version 1, Dataset):
+//
+//	u32 specLen, specLen bytes  DatasetSpec as JSON
+//	u32                         NumClasses
+//	CSR block:
+//	  u64 numNodes, u64 numArcs
+//	  u64×(numNodes+1)          RowPtr
+//	  u32×numArcs               Col
+//	u64 featRows, u64 featCols
+//	f32×(featRows·featCols)     Features, row-major IEEE-754 bits
+//	u32×numNodes                Labels
+//	3 × (u64 count, u32×count)  TrainIdx, ValIdx, TestIdx
+func encodeDataset(d *Dataset) ([]byte, error) {
+	specJSON, err := json.Marshal(d.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("graph: encoding spec: %w", err)
+	}
+	var e enc
+	e.u32(uint32(len(specJSON)))
+	e.bytes(specJSON)
+	e.u32(uint32(d.NumClasses))
+	encodeCSR(&e, d.Graph)
+	e.u64(uint64(d.Features.Rows))
+	e.u64(uint64(d.Features.Cols))
+	e.f32s(d.Features.Data)
+	e.i32s(d.Labels)
+	for _, split := range [][]NodeID{d.TrainIdx, d.ValIdx, d.TestIdx} {
+		e.u64(uint64(len(split)))
+		e.i32s(split)
+	}
+	return e.buf, nil
+}
+
+func decodeDataset(payload []byte) (*Dataset, error) {
+	d := dec{buf: payload}
+	specJSON := d.bytes(int(d.u32()))
+	var spec DatasetSpec
+	if d.err == nil {
+		if err := json.Unmarshal(specJSON, &spec); err != nil {
+			return nil, fmt.Errorf("graph: decoding stored spec: %w", err)
+		}
+	}
+	numClasses := int(d.u32())
+	g := decodeCSR(&d)
+	// Every declared count is checked against the bytes actually present
+	// before any allocation, with division (never multiplication) so a
+	// crafted count cannot overflow past the guard.
+	featRows := int(d.u64())
+	featCols := int(d.u64())
+	if d.err == nil && (featRows < 0 || featCols < 0 || featRows > math.MaxInt32 || featCols > math.MaxInt32 ||
+		(featCols > 0 && featRows > d.remaining()/4/featCols)) {
+		return nil, fmt.Errorf("graph: feature block %dx%d exceeds payload", featRows, featCols)
+	}
+	feats := d.f32s(featRows * featCols)
+	labels := d.i32s(g.numNodesHint())
+	var splits [3][]NodeID
+	for i := range splits {
+		n := int(d.u64())
+		if d.err == nil && (n < 0 || n > d.remaining()/4) {
+			return nil, fmt.Errorf("graph: split of %d ids exceeds payload", n)
+		}
+		splits[i] = d.i32s(n)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("graph: %d trailing payload bytes", len(d.buf)-d.off)
+	}
+	return &Dataset{
+		Spec:       spec,
+		Graph:      g,
+		Features:   tensor.FromSlice(featRows, featCols, feats),
+		Labels:     labels,
+		NumClasses: numClasses,
+		TrainIdx:   splits[0],
+		ValIdx:     splits[1],
+		TestIdx:    splits[2],
+	}, nil
+}
+
+func encodeCSR(e *enc, g *CSR) {
+	e.u64(uint64(g.NumNodes))
+	e.u64(uint64(len(g.Col)))
+	e.i64s(g.RowPtr)
+	e.i32s(g.Col)
+}
+
+// nilCSR stands in for a graph that failed to decode, so downstream
+// decode steps can keep consuming the error-latched dec without nil
+// checks.
+var nilCSR = &CSR{RowPtr: []int64{0}}
+
+func decodeCSR(d *dec) *CSR {
+	// As in decodeDataset: division-only bounds checks so declared counts
+	// can neither overflow the guard nor drive an oversized allocation.
+	numNodes := int(d.u64())
+	numArcs := int(d.u64())
+	if d.err == nil && (numNodes < 0 || numArcs < 0 ||
+		numNodes >= math.MaxInt32 || numNodes+1 > d.remaining()/8) {
+		d.fail(fmt.Errorf("graph: CSR of %d nodes exceeds payload", numNodes))
+		return nilCSR
+	}
+	rowPtr := d.i64s(numNodes + 1)
+	if d.err == nil && numArcs > d.remaining()/4 {
+		d.fail(fmt.Errorf("graph: CSR of %d arcs exceeds payload", numArcs))
+		return nilCSR
+	}
+	col := d.i32s(numArcs)
+	if d.err != nil {
+		return nilCSR
+	}
+	return &CSR{NumNodes: numNodes, RowPtr: rowPtr, Col: col}
+}
+
+func (g *CSR) numNodesHint() int {
+	if g == nil {
+		return 0
+	}
+	return g.NumNodes
+}
+
+// enc builds the little-endian payload. Slices are appended in one grow
+// per field, keeping Save roughly memcpy-speed.
+type enc struct{ buf []byte }
+
+func (e *enc) grow(n int) []byte {
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n)...)
+	return e.buf[off:]
+}
+
+func (e *enc) u32(v uint32)   { binary.LittleEndian.PutUint32(e.grow(4), v) }
+func (e *enc) u64(v uint64)   { binary.LittleEndian.PutUint64(e.grow(8), v) }
+func (e *enc) bytes(b []byte) { e.buf = append(e.buf, b...) }
+func (e *enc) i64s(xs []int64) {
+	b := e.grow(8 * len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+}
+func (e *enc) i32s(xs []int32) {
+	b := e.grow(4 * len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+}
+func (e *enc) f32s(xs []float32) {
+	b := e.grow(4 * len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+	}
+}
+
+// dec consumes the payload with a latched error: after the first failure
+// every further read returns zero values, so decode code stays linear.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.remaining() {
+		d.fail(fmt.Errorf("graph: truncated payload: need %d bytes, have %d", n, d.remaining()))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) bytes(n int) []byte { return d.take(n) }
+
+func (d *dec) i64s(n int) []int64 {
+	b := d.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func (d *dec) i32s(n int) []int32 {
+	b := d.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (d *dec) f32s(n int) []float32 {
+	b := d.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func storeTestDataset(t testing.TB) *Dataset {
+	t.Helper()
+	spec := DatasetSpec{
+		Name:        "store-unit",
+		Paper:       PaperStats{Vertices: 400, Edges: 3000, F0: 10, F1: 8, F2: 5},
+		ScaledNodes: 400, ScaledEdges: 3000,
+		ScaledF0: 10, ScaledHidden: 8, ScaledClasses: 5,
+		Homophily: 0.6, Exponent: 2.2, TrainFrac: 0.5,
+	}
+	ds, err := Build(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetStoreRoundTrip(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "store.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatal("dataset did not round-trip bit-exactly through the binary store")
+	}
+}
+
+func TestCSRStoreRoundTrip(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "topo.argograph")
+	if err := ds.Graph.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Graph, back) {
+		t.Fatal("CSR did not round-trip through the binary store")
+	}
+}
+
+// The golden header pins the on-disk framing: any accidental change to
+// the magic, version, or field layout shows up as a corrupted prefix
+// here rather than as silent incompatibility discovered by a user.
+func TestStoreGoldenHeader(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < storeHeaderLen {
+		t.Fatalf("store shorter than its header: %d bytes", len(b))
+	}
+	if got := string(b[:8]); got != "ARGOGRPH" {
+		t.Fatalf("magic %q", got)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != 1 {
+		t.Fatalf("version %d, want 1", v)
+	}
+	if k := binary.LittleEndian.Uint32(b[12:]); k != storeKindDataset {
+		t.Fatalf("kind %d, want %d", k, storeKindDataset)
+	}
+	if l := binary.LittleEndian.Uint64(b[16:]); int(l) != len(b)-storeHeaderLen {
+		t.Fatalf("declared payload %d, actual %d", l, len(b)-storeHeaderLen)
+	}
+	// Writes are deterministic: the same dataset encodes to the same bytes.
+	var again bytes.Buffer
+	if err := ds.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, again.Bytes()) {
+		t.Fatal("two writes of the same dataset differ")
+	}
+}
+
+func TestStoreRejectsForeignMagic(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	copy(b, "NOTAGRPH")
+	if _, err := ReadDataset(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "not an .argograph") {
+		t.Fatalf("foreign magic accepted: %v", err)
+	}
+}
+
+func TestStoreRejectsFutureVersion(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[8:], storeVersion+1)
+	if _, err := ReadDataset(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestStoreRejectsWrongKind(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Graph.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("CSR store read as dataset: %v", err)
+	}
+}
+
+func TestStoreRejectsCorruptedPayload(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip one bit in each third of the payload.
+	for _, at := range []int{storeHeaderLen + 3, storeHeaderLen + (len(b)-storeHeaderLen)/2, len(b) - 1} {
+		mut := append([]byte(nil), b...)
+		mut[at] ^= 0x40
+		if _, err := ReadDataset(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("flipped bit at %d accepted: %v", at, err)
+		}
+	}
+}
+
+func TestStoreRejectsTruncation(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Every truncation point must produce an error, never a panic or a
+	// silently short dataset: inside the header, right at its end, and
+	// through the payload.
+	cuts := []int{0, 1, 7, storeHeaderLen - 1, storeHeaderLen, storeHeaderLen + 1,
+		storeHeaderLen + (len(b)-storeHeaderLen)/3, len(b) - 1}
+	for _, cut := range cuts {
+		if _, err := ReadDataset(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(b))
+		}
+	}
+}
+
+func TestStoreRejectsTrailingBytes(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Padding the payload while fixing up the header length and checksum
+	// must still be rejected: version-1 payloads are exactly sized.
+	b := append(buf.Bytes(), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(b[16:], uint64(len(b)-storeHeaderLen))
+	binary.LittleEndian.PutUint32(b[24:], crc32.Checksum(b[storeHeaderLen:], storeCRC))
+	if _, err := ReadDataset(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("padded payload accepted: %v", err)
+	}
+}
+
+func TestLoadDatasetMissingFile(t *testing.T) {
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "absent.argograph")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestWriteRejectsInvalidDataset(t *testing.T) {
+	ds := storeTestDataset(t)
+	ds.Labels[0] = int32(ds.NumClasses) + 3
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err == nil {
+		t.Fatal("out-of-range label written to store")
+	}
+}
+
+func TestValidateCatchesSplitOutOfRange(t *testing.T) {
+	ds := storeTestDataset(t)
+	ds.ValIdx = append(ds.ValIdx, NodeID(ds.Graph.NumNodes))
+	if err := ds.Validate(); err == nil {
+		t.Fatal("out-of-range val index passed Validate")
+	}
+}
+
+// FuzzReadDataset drives the decoder with arbitrary bytes: it must
+// reject or accept, never panic or over-allocate, and anything it
+// accepts must satisfy every dataset invariant.
+func FuzzReadDataset(f *testing.F) {
+	ds := storeTestDataset(f)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:storeHeaderLen])
+	f.Add([]byte("ARGOGRPH"))
+	f.Add([]byte{})
+	// A header declaring a huge payload over a tiny body.
+	huge := append([]byte(nil), valid[:storeHeaderLen]...)
+	binary.LittleEndian.PutUint64(huge[16:], 1<<60)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDataset(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+	})
+}
+
+// A crafted store whose declared counts are near MaxInt64 must be
+// rejected, not panic in makeslice: the length guards must be
+// overflow-proof (they divide, never multiply).
+func TestStoreRejectsOverflowingCounts(t *testing.T) {
+	craft := func(kind uint32, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeContainer(&buf, kind, payload); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// CSR payload: numNodes=1, numArcs=2^62+1, a plausible rowPtr, no cols.
+	var e enc
+	e.u64(1)
+	e.u64(1<<62 + 1)
+	e.i64s([]int64{0, 0})
+	if _, err := ReadCSR(bytes.NewReader(craft(storeKindCSR, e.buf))); err == nil {
+		t.Fatal("2^62+1 arcs accepted")
+	}
+	// Dataset payload: empty spec JSON, tiny CSR, then a feature block and
+	// split counts that would overflow n*4 / rows*cols*4 guards.
+	for _, counts := range [][2]uint64{
+		{1<<62 + 1, 1},     // featRows overflow
+		{1 << 31, 1 << 31}, // featRows*featCols overflow
+	} {
+		var p enc
+		p.u32(2)
+		p.bytes([]byte("{}"))
+		p.u32(1) // numClasses
+		p.u64(0)
+		p.u64(0) // empty CSR
+		p.i64s([]int64{0})
+		p.u64(counts[0])
+		p.u64(counts[1])
+		if _, err := ReadDataset(bytes.NewReader(craft(storeKindDataset, p.buf))); err == nil {
+			t.Fatalf("feature block %d x %d accepted", counts[0], counts[1])
+		}
+	}
+	// Split count overflow: valid empty feature block, then a huge count.
+	var p enc
+	p.u32(2)
+	p.bytes([]byte("{}"))
+	p.u32(1)
+	p.u64(0)
+	p.u64(0)
+	p.i64s([]int64{0})
+	p.u64(0)
+	p.u64(0)         // 0x0 features
+	p.u64(1<<62 + 1) // train split count
+	if _, err := ReadDataset(bytes.NewReader(craft(storeKindDataset, p.buf))); err == nil {
+		t.Fatal("2^62+1 split ids accepted")
+	}
+}
+
+func TestReadSpecPrefixOnly(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	spec, err := ReadSpec(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, ds.Spec) {
+		t.Fatalf("ReadSpec = %+v, want %+v", spec, ds.Spec)
+	}
+	// The spec must decode even when everything after it is absent —
+	// that is the point of the prefix read.
+	const specPrefix = storeHeaderLen + 4
+	specLen := int(binary.LittleEndian.Uint32(b[storeHeaderLen:]))
+	if _, err := ReadSpec(bytes.NewReader(b[:specPrefix+specLen])); err != nil {
+		t.Fatalf("prefix-only read failed: %v", err)
+	}
+	// But a store truncated inside the spec must be rejected.
+	if _, err := ReadSpec(bytes.NewReader(b[:specPrefix+specLen/2])); err == nil {
+		t.Fatal("truncated spec accepted")
+	}
+	if _, err := ReadSpec(bytes.NewReader([]byte("ARGOGRPH"))); err == nil {
+		t.Fatal("bare magic accepted")
+	}
+}
+
+// A checksum-valid store whose RowPtr points past Col must be rejected
+// by Validate, never panic in Neighbors.
+func TestStoreRejectsRowPtrPastCol(t *testing.T) {
+	var e enc
+	e.u64(1) // numNodes
+	e.u64(0) // numArcs
+	e.i64s([]int64{0, 100})
+	var buf bytes.Buffer
+	if err := writeContainer(&buf, storeKindCSR, e.buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSR(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "exceeds len(Col)") {
+		t.Fatalf("RowPtr past Col accepted: %v", err)
+	}
+}
+
+func TestValidateCatchesOverlappingSplits(t *testing.T) {
+	ds := storeTestDataset(t)
+	ds.ValIdx[0] = ds.TrainIdx[0]
+	if err := ds.Validate(); err == nil || !strings.Contains(err.Error(), "two splits") {
+		t.Fatalf("overlapping splits passed Validate: %v", err)
+	}
+}
+
+func TestSaveProducesWorldReadableStore(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "perm.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("store saved with mode %v, want 0644", fi.Mode().Perm())
+	}
+}
