@@ -83,7 +83,17 @@ func main() {
 			") and/or .argograph paths, or \"all\" for every paper profile")
 	jsonPath := flag.String("json", "BENCH_argo.json", "where to write the strategy benchmark JSON")
 	searches := flag.Int("searches", 20, "online-learning budget per strategy (paper Table VI: 20 on 64 cores)")
+	lazyFlag := flag.String("lazy", "auto",
+		"store access for .argograph -dataset paths: auto/on read only the spec section; off fully loads and verifies the store first")
+	stable := flag.Bool("stable", false,
+		"zero wall-clock fields in the JSON so repeated runs are byte-identical (CI regression gating)")
 	flag.Parse()
+
+	loadMode, err := datasets.ParseLoadMode(*lazyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -137,7 +147,7 @@ func main() {
 	if *exp != "all" && *exp != "none" && !strategySet {
 		return
 	}
-	if err := benchStrategies(*strategy, *datasetFlag, *searches, *jsonPath, os.Stdout); err != nil {
+	if err := benchStrategies(*strategy, *datasetFlag, *searches, *jsonPath, loadMode, *stable, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -151,8 +161,10 @@ type benchWorkload struct {
 
 // benchDatasets expands the -dataset flag and resolves every workload up
 // front, so a typo'd name fails fast instead of after minutes of
-// benchmarking the names before it.
-func benchDatasets(datasetFlag string) ([]benchWorkload, error) {
+// benchmarking the names before it. Path workloads resolve through the
+// store's spec section only (lazy); -lazy off forces a full,
+// checksum-verified load before the spec is trusted.
+func benchDatasets(datasetFlag string, mode datasets.LoadMode) ([]benchWorkload, error) {
 	names := datasets.PaperNames()
 	if datasetFlag != "all" {
 		names = nil
@@ -167,7 +179,7 @@ func benchDatasets(datasetFlag string) ([]benchWorkload, error) {
 	}
 	out := make([]benchWorkload, 0, len(names))
 	for _, n := range names {
-		spec, err := datasets.ResolveSpec(n)
+		spec, err := datasets.ResolveSpecMode(n, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -180,8 +192,11 @@ func benchDatasets(datasetFlag string) ([]benchWorkload, error) {
 // Runtime.Run loop on the Table-IV simulator setting (Neighbor-SAGE on a
 // 64-core Sapphire Rapids) once per requested dataset, with an identical
 // budget everywhere, and writes the per-dataset comparison to jsonPath.
-func benchStrategies(which, datasetFlag string, searches int, jsonPath string, w *os.File) error {
-	workloads, err := benchDatasets(datasetFlag)
+// With stable set, wall-clock fields are zeroed so the artifact is a
+// pure function of (datasets, strategies, budget, seed) — byte-stable
+// across runs, which is what CI's bench-smoke job diffs.
+func benchStrategies(which, datasetFlag string, searches int, jsonPath string, mode datasets.LoadMode, stable bool, w *os.File) error {
+	workloads, err := benchDatasets(datasetFlag, mode)
 	if err != nil {
 		return err
 	}
@@ -240,6 +255,13 @@ func benchStrategies(which, datasetFlag string, searches int, jsonPath string, w
 				TunerOverhead:    rep.TunerOverhead.String(),
 				TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
 				WallSeconds:      time.Since(start).Seconds(),
+			}
+			if stable {
+				// The simulator outputs are deterministic for a fixed
+				// seed; only the real-time measurements vary run to run.
+				res.TunerOverhead = "0s"
+				res.TunerOverheadNs = 0
+				res.WallSeconds = 0
 			}
 			db.Strategies = append(db.Strategies, res)
 			fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",

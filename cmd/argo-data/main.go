@@ -1,19 +1,25 @@
 // Command argo-data manages .argograph binary dataset stores: it
-// generates the registry's synthetic workload profiles to disk, inspects
-// stored graphs, and verifies a store's checksum and structural
-// invariants. Generating once and loading thereafter turns dataset setup
-// from tens of milliseconds (or much more for bigger profiles) into a
-// single fast read shared by argo-train, argo-bench, and argo-sweep.
+// generates the registry's synthetic workload profiles to disk (at test
+// size or scaled up to 1000×), inspects stored graphs lazily, verifies
+// a store's section table, checksums, and structural invariants, and
+// upgrades legacy v1 stores to the sectioned v2 layout. Generating once
+// and loading thereafter turns dataset setup from tens of milliseconds
+// (or much more for bigger profiles) into a single fast read shared by
+// argo-train, argo-bench, and argo-sweep — and with v2's lazy loading,
+// metadata and topology reads stay fast no matter how large the store.
 //
 // Usage:
 //
 //	argo-data ls
-//	argo-data gen -dataset arxiv-sim [-seed 1] -o arxiv.argograph
+//	argo-data gen -dataset arxiv-sim [-seed 1] [-scale 100] -o arxiv.argograph
+//	argo-data gen -dataset tiny -nodes 5000 -edges 40000 -feat 32 -o big-tiny.argograph
 //	argo-data inspect arxiv.argograph
 //	argo-data verify arxiv.argograph
+//	argo-data upgrade old.argograph [-o new.argograph]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +35,12 @@ func usage() {
 
 Subcommands:
   ls                         list registered workload profiles
-  gen -dataset <name> -o <file> [-seed N]
-                             generate a profile and save it
-  inspect <file>             print a stored dataset's statistics
-  verify <file>              check header, checksum, and graph invariants
+  gen -dataset <name> -o <file> [-seed N] [-scale N] [-nodes N] [-edges N] [-feat N]
+                             generate a profile (optionally scaled) and save it
+  inspect <file>             print a stored dataset's statistics and section layout
+                             (lazy: topology and feature bytes are never read)
+  verify <file>              check section table, checksums, and graph invariants
+  upgrade <file> [-o <out>]  rewrite a v1 store in the sectioned v2 format
 
 Registered profiles: %s
 `, strings.Join(datasets.Names(), ", "))
@@ -53,6 +61,8 @@ func main() {
 		err = runInspect(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
+	case "upgrade":
+		err = runUpgrade(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -84,12 +94,33 @@ func runGen(args []string) error {
 	name := fs.String("dataset", "", "registry profile to generate (see argo-data ls)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output .argograph path")
+	scale := fs.Int("scale", 1, "multiply the profile's node and edge counts by N (10–1000 for full-scale stores)")
+	nodes := fs.Int("nodes", 0, "override node count (after -scale; 0 = keep)")
+	edges := fs.Int64("edges", 0, "override undirected edge target (after -scale; 0 = keep)")
+	feat := fs.Int("feat", 0, "override feature width F0 (0 = keep)")
 	fs.Parse(args)
 	if *name == "" || *out == "" {
 		return fmt.Errorf("gen needs -dataset and -o (try: argo-data gen -dataset arxiv-sim -o arxiv.argograph)")
 	}
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be ≥ 1, got %d", *scale)
+	}
+	p, err := datasets.Get(*name)
+	if err != nil {
+		return err
+	}
+	spec := p.Spec.Scale(*scale)
+	if *nodes > 0 {
+		spec.ScaledNodes = *nodes
+	}
+	if *edges > 0 {
+		spec.ScaledEdges = *edges
+	}
+	if *feat > 0 {
+		spec.ScaledF0 = *feat
+	}
 	start := time.Now()
-	ds, err := datasets.Build(*name, *seed)
+	ds, err := graph.Build(spec, *seed)
 	if err != nil {
 		return err
 	}
@@ -102,8 +133,8 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s (seed %d): %d nodes, %d arcs, %d classes → %s (%d bytes)\n",
-		*name, *seed, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, *out, fi.Size())
+	fmt.Printf("%s (seed %d): %d nodes, %d arcs, %d classes → %s (%d bytes, format v2)\n",
+		spec.Name, *seed, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, *out, fi.Size())
 	fmt.Printf("generated in %s, saved in %s\n", genTime.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 	return nil
 }
@@ -113,26 +144,48 @@ func runInspect(args []string) error {
 		return fmt.Errorf("inspect takes exactly one .argograph path")
 	}
 	start := time.Now()
-	ds, err := graph.LoadDataset(args[0])
+	// Lazy open: only the header, section table, spec, and stats are
+	// read, so inspect answers in microseconds on stores of any size.
+	lz, err := graph.OpenLazy(args[0])
 	if err != nil {
 		return err
 	}
-	loadTime := time.Since(start)
+	defer lz.Close()
+	openTime := time.Since(start)
 	fi, err := os.Stat(args[0])
 	if err != nil {
 		return err
 	}
-	fmt.Printf("store:      %s (%d bytes, loaded in %s)\n", args[0], fi.Size(), loadTime.Round(time.Microsecond))
-	fmt.Printf("dataset:    %s\n", ds.Spec.Name)
-	if ds.Spec.Paper.Vertices > 0 {
+	st := lz.Stats()
+	fmt.Printf("store:      %s (%d bytes, format v%d, opened in %s, %s)\n",
+		args[0], fi.Size(), lz.Version(), openTime.Round(time.Microsecond), lz.AccessMode())
+	spec := lz.Spec()
+	if spec.Name != "" {
+		fmt.Printf("dataset:    %s\n", spec.Name)
+	}
+	if spec.Paper.Vertices > 0 {
 		fmt.Printf("paper:      %d vertices, %d edges, F0=%d F1=%d F2=%d\n",
-			ds.Spec.Paper.Vertices, ds.Spec.Paper.Edges, ds.Spec.Paper.F0, ds.Spec.Paper.F1, ds.Spec.Paper.F2)
+			spec.Paper.Vertices, spec.Paper.Edges, spec.Paper.F0, spec.Paper.F1, spec.Paper.F2)
 	}
 	fmt.Printf("graph:      %d nodes, %d arcs, avg degree %.1f, max degree %d\n",
-		ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.Graph.AvgDegree(), ds.Graph.MaxDegree())
-	fmt.Printf("features:   %d × %d float32\n", ds.Features.Rows, ds.Features.Cols)
-	fmt.Printf("labels:     %d classes\n", ds.NumClasses)
-	fmt.Printf("splits:     %d train / %d val / %d test\n", len(ds.TrainIdx), len(ds.ValIdx), len(ds.TestIdx))
+		st.NumNodes, st.NumArcs, st.AvgDegree, st.MaxDegree)
+	if st.FeatRows > 0 {
+		fmt.Printf("features:   %d × %d float32\n", st.FeatRows, st.FeatCols)
+	}
+	if st.NumClasses > 0 {
+		fmt.Printf("labels:     %d classes\n", st.NumClasses)
+	}
+	fmt.Printf("splits:     %d train / %d val / %d test\n", st.TrainCount, st.ValCount, st.TestCount)
+	if hist := st.DegreeHist; len(hist) > 0 {
+		fmt.Printf("degrees:    hist by bit-length %v\n", hist)
+	}
+	if secs := lz.Sections(); len(secs) > 0 {
+		fmt.Printf("sections:\n")
+		fmt.Printf("  %-10s %12s %14s %10s\n", "NAME", "OFFSET", "LENGTH", "CRC32C")
+		for _, s := range secs {
+			fmt.Printf("  %-10s %12d %14d %10x\n", s.Name, s.Offset, s.Length, s.CRC)
+		}
+	}
 	return nil
 }
 
@@ -140,14 +193,60 @@ func runVerify(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("verify takes exactly one .argograph path")
 	}
-	// LoadDataset verifies everything: the header, the payload checksum,
-	// and every structural invariant (Dataset.Validate: CSR shape, label
-	// range, split bounds and disjointness).
-	ds, err := graph.LoadDataset(args[0])
+	// VerifyStore checks in trust-nothing order: header, section table
+	// (overlapping or out-of-bounds extents are distinct errors raised
+	// before any payload decode), per-section checksums, then a full
+	// decode with every structural invariant.
+	check, err := graph.VerifyStore(args[0])
+	switch {
+	case errors.Is(err, graph.ErrSectionOverlap):
+		return fmt.Errorf("malformed section table (overlapping extents): %w", err)
+	case errors.Is(err, graph.ErrSectionBounds):
+		return fmt.Errorf("malformed section table (extent outside file): %w", err)
+	case err != nil:
+		return err
+	}
+	st := check.Stats
+	fmt.Printf("%s: OK (format v%d %s, %d nodes, %d arcs, %d classes, %d sections, checksums + invariants verified)\n",
+		args[0], check.Version, check.Kind, st.NumNodes, st.NumArcs, st.NumClasses, len(check.Sections))
+	return nil
+}
+
+func runUpgrade(args []string) error {
+	fs := flag.NewFlagSet("upgrade", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: rewrite in place)")
+	// Accept both `upgrade store.argograph -o out` and `upgrade -o out store.argograph`.
+	var src string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		src = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if src == "" && fs.NArg() == 1 {
+		src = fs.Arg(0)
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("upgrade takes one .argograph path (plus optional -o out)")
+	}
+	if src == "" {
+		return fmt.Errorf("upgrade takes one .argograph path (plus optional -o out)")
+	}
+	dst := *out
+	if dst == "" {
+		dst = src
+	}
+	start := time.Now()
+	srcVersion, identical, err := graph.UpgradeStore(src, dst)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: OK (%d nodes, %d arcs, %d classes, checksum + invariants verified)\n",
-		args[0], ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses)
+	elapsed := time.Since(start).Round(time.Microsecond)
+	switch {
+	case srcVersion >= 2 && identical:
+		fmt.Printf("%s: already format v2; rewritten byte-identically to %s in %s\n", src, dst, elapsed)
+	case srcVersion >= 2:
+		fmt.Printf("%s: already format v2; re-encoded canonically to %s in %s\n", src, dst, elapsed)
+	default:
+		fmt.Printf("%s: upgraded v%d → v2 at %s in %s\n", src, srcVersion, dst, elapsed)
+	}
 	return nil
 }

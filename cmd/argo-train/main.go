@@ -51,14 +51,29 @@ func main() {
 	earlyStop := flag.Int("early-stop", 0, "stop searching after N stale search epochs (0 = off)")
 	reportPath := flag.String("report", "", "write the final report as JSON to this file")
 	warmPath := flag.String("warmstart", "", "warm-start the strategy from a previous -report JSON file")
+	lazyFlag := flag.String("lazy", "auto",
+		"store loading for .argograph paths: auto (lazy at ≥32MB), on, off")
 	flag.Parse()
 
-	ds, err := datasets.Resolve(*dataset, *seed)
+	mode, err := datasets.ParseLoadMode(*lazyFlag)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}
-	fmt.Printf("dataset %s (scaled): %d nodes, %d arcs, %d classes, %d train targets\n",
-		ds.Spec.Name, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, len(ds.TrainIdx))
+	// The lazy handle yields spec and stats from the store header before
+	// any section is decoded, so huge stores announce themselves
+	// instantly; training then materialises the sections it needs.
+	lz, err := datasets.ResolveLazy(*dataset, *seed, mode)
+	if err != nil {
+		log.Fatalf("argo-train: %v", err)
+	}
+	defer lz.Close()
+	st := lz.Stats()
+	fmt.Printf("dataset %s (scaled, %s): %d nodes, %d arcs, %d classes, %d train targets\n",
+		lz.Spec().Name, lz.AccessMode(), st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount)
+	ds, err := lz.Dataset()
+	if err != nil {
+		log.Fatalf("argo-train: %v", err)
+	}
 
 	var smp sampler.Sampler
 	layers := 3

@@ -1,0 +1,174 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+func TestParseLoadMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LoadMode
+		ok   bool
+	}{
+		{"auto", LoadAuto, true},
+		{"", LoadAuto, true},
+		{"on", LoadLazy, true},
+		{"lazy", LoadLazy, true},
+		{"off", LoadEager, true},
+		{"eager", LoadEager, true},
+		{"ON", LoadLazy, true},
+		{"sometimes", LoadAuto, false},
+	} {
+		got, err := ParseLoadMode(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseLoadMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// The acceptance scenario: the tiny profile written at -scale 100 opens
+// via the lazy path with work proportional to the sections touched —
+// spec and stats are served from the store prefix, and topology-only
+// loads never materialise the (much larger) feature section.
+func TestScaledProfileOpensLazily(t *testing.T) {
+	p, err := Get("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Spec.Scale(100)
+	if spec.ScaledNodes != p.Spec.ScaledNodes*100 || spec.ScaledEdges != p.Spec.ScaledEdges*100 {
+		t.Fatalf("Scale(100): %d nodes, %d edges", spec.ScaledNodes, spec.ScaledEdges)
+	}
+	if spec.Name != "tiny@x100" {
+		t.Fatalf("scaled name %q", spec.Name)
+	}
+	ds, err := graph.Build(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny100.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metadata resolves without touching topology or features.
+	gotSpec, err := ResolveSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSpec, spec) {
+		t.Fatalf("ResolveSpec = %+v", gotSpec)
+	}
+	st, err := graph.LoadStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumNodes != int64(ds.Graph.NumNodes) || st.FeatRows != ds.Features.Rows {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Topology-only load — feature bytes stay untouched (the byte-level
+	// proof lives in internal/graph's recording-source tests; here we
+	// check the path-level API composes).
+	g, err := graph.LoadCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != ds.Graph.NumNodes {
+		t.Fatalf("lazy topology %d nodes, want %d", g.NumNodes, ds.Graph.NumNodes)
+	}
+
+	// The lazy handle resolves and materialises identically to a build.
+	lz, err := ResolveLazy(path, 0, LoadLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.Version() != 2 {
+		t.Fatalf("store version %d", lz.Version())
+	}
+	back, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatal("scaled store did not round-trip through the lazy path")
+	}
+}
+
+func TestResolveLazyRegistryName(t *testing.T) {
+	lz, err := ResolveLazy("tiny", 3, LoadAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.AccessMode() != "memory" {
+		t.Fatalf("registry build access mode %s", lz.AccessMode())
+	}
+	want, err := Build("tiny", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("ResolveLazy(name) differs from Build(name)")
+	}
+}
+
+func TestResolveWithModesAgree(t *testing.T) {
+	ds, err := Build("tiny", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []LoadMode{LoadAuto, LoadEager, LoadLazy} {
+		got, err := ResolveWith(path, 0, mode)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if !reflect.DeepEqual(ds, got) {
+			t.Fatalf("mode %d materialised a different dataset", mode)
+		}
+	}
+}
+
+// LoadEager is the trust-nothing mode: a store whose feature section is
+// corrupt resolves its spec on the lazy paths (metadata sections are
+// intact and individually checksummed) but fails eager resolution.
+func TestResolveSpecModeEagerCatchesDeepCorruption(t *testing.T) {
+	ds, err := Build("tiny", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature data sits in the store's back half; flip a bit there
+	// without disturbing the metadata prefix.
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveSpecMode(path, LoadLazy); err != nil {
+		t.Fatalf("lazy spec resolution failed on intact metadata: %v", err)
+	}
+	if _, err := ResolveSpecMode(path, LoadEager); err == nil {
+		t.Fatal("eager spec resolution accepted a corrupt store")
+	}
+}

@@ -150,33 +150,121 @@ func Build(name string, seed int64) (*graph.Dataset, error) {
 	return graph.Build(p.Spec, seed)
 }
 
+// LoadMode selects how a stored workload is brought into memory.
+type LoadMode int
+
+const (
+	// LoadAuto picks by file size: stores at or above
+	// LazyAutoThresholdBytes stay lazy (sections materialise on first
+	// use, mmap-backed on linux), smaller ones are decoded eagerly.
+	LoadAuto LoadMode = iota
+	// LoadEager materialises and validates every section up front.
+	LoadEager
+	// LoadLazy defers every section until a consumer asks for it.
+	LoadLazy
+)
+
+// LazyAutoThresholdBytes is the LoadAuto cutover: below it an eager
+// decode costs single-digit milliseconds and buys full up-front
+// validation; above it lazy opening keeps peak memory proportional to
+// the sections actually touched.
+const LazyAutoThresholdBytes = 32 << 20
+
+// ParseLoadMode parses a -lazy flag value: auto, on (or lazy), off (or
+// eager).
+func ParseLoadMode(s string) (LoadMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return LoadAuto, nil
+	case "on", "lazy", "true":
+		return LoadLazy, nil
+	case "off", "eager", "false":
+		return LoadEager, nil
+	}
+	return LoadAuto, fmt.Errorf("datasets: bad -lazy value %q (auto, on, off)", s)
+}
+
 // Resolve turns a registry name or an .argograph file path into a
 // materialised dataset: names are generated with the given seed, paths
 // are loaded from the binary store (the seed is ignored — the stored
 // graph is already materialised).
 func Resolve(nameOrPath string, seed int64) (*graph.Dataset, error) {
+	return ResolveWith(nameOrPath, seed, LoadAuto)
+}
+
+// ResolveWith is Resolve with an explicit load mode for path workloads.
+// The returned dataset is always fully materialised; the mode decides
+// whether a v2 store is decoded eagerly or section-by-section off an
+// mmap while assembling it.
+func ResolveWith(nameOrPath string, seed int64, mode LoadMode) (*graph.Dataset, error) {
+	lz, err := ResolveLazy(nameOrPath, seed, mode)
+	if err != nil {
+		return nil, err
+	}
+	defer lz.Close()
+	return lz.Dataset()
+}
+
+// ResolveLazy turns a registry name or an .argograph path into a
+// LazyDataset handle. Names are generated with the given seed and
+// wrapped (already materialised); paths are opened through the v2 lazy
+// reader, so spec and stats are available immediately and topology-only
+// consumers never pay for feature bytes. With LoadEager (or LoadAuto on
+// a small file) every section is materialised and validated before the
+// handle is returned. The caller owns the handle and must Close it.
+func ResolveLazy(nameOrPath string, seed int64, mode LoadMode) (*graph.LazyDataset, error) {
 	p, gerr := Get(nameOrPath)
 	if gerr == nil {
-		return graph.Build(p.Spec, seed)
+		d, err := graph.Build(p.Spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.LazyFromDataset(d), nil
 	}
-	if _, serr := os.Stat(nameOrPath); serr != nil {
+	fi, serr := os.Stat(nameOrPath)
+	if serr != nil {
 		return nil, fmt.Errorf("%w; and no such file: %v", gerr, serr)
 	}
-	return graph.LoadDataset(nameOrPath)
+	lz, err := graph.OpenLazy(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	if mode == LoadEager || (mode == LoadAuto && fi.Size() < LazyAutoThresholdBytes) {
+		if _, err := lz.Dataset(); err != nil {
+			lz.Close()
+			return nil, err
+		}
+	}
+	return lz, nil
 }
 
 // ResolveSpec returns just the dataset specification for a registry name
 // or an .argograph path — what the platform simulator consumes when no
-// materialised graph is needed. For paths only the store's spec header
-// is read (graph.LoadSpec), so arbitrarily large stores resolve in
-// microseconds.
+// materialised graph is needed. For paths only the store's spec section
+// (v2) or spec prefix (v1) is read (graph.LoadSpec), so arbitrarily
+// large stores resolve in microseconds.
 func ResolveSpec(nameOrPath string) (graph.DatasetSpec, error) {
+	return ResolveSpecMode(nameOrPath, LoadAuto)
+}
+
+// ResolveSpecMode is ResolveSpec with an explicit load mode. LoadEager
+// forces a path workload through a full load — every checksum and
+// structural invariant verified — before its spec is trusted; the other
+// modes stay on the metadata-only fast path.
+func ResolveSpecMode(nameOrPath string, mode LoadMode) (graph.DatasetSpec, error) {
 	p, gerr := Get(nameOrPath)
 	if gerr == nil {
 		return p.Spec, nil
 	}
 	if _, serr := os.Stat(nameOrPath); serr != nil {
 		return graph.DatasetSpec{}, fmt.Errorf("%w; and no such file: %v", gerr, serr)
+	}
+	if mode == LoadEager {
+		ds, err := graph.LoadDataset(nameOrPath)
+		if err != nil {
+			return graph.DatasetSpec{}, err
+		}
+		return ds.Spec, nil
 	}
 	return graph.LoadSpec(nameOrPath)
 }

@@ -40,6 +40,24 @@ type DatasetSpec struct {
 	TrainFrac     float64
 }
 
+// Scale returns a copy of the spec with the scaled-instance node and
+// edge counts multiplied by factor (≥1). Feature dimensionality, class
+// count, and the degree-distribution/homophily parameters are
+// unchanged, so a scaled instance keeps the original's per-node shape
+// while growing topology and features linearly — the knob that lets
+// `argo-data gen -scale N` materialise a registry profile at
+// 10×–1000× test size once and reopen it lazily thereafter. The name
+// gains an "@xN" suffix so stores record their provenance.
+func (s DatasetSpec) Scale(factor int) DatasetSpec {
+	if factor <= 1 {
+		return s
+	}
+	s.ScaledNodes *= factor
+	s.ScaledEdges *= int64(factor)
+	s.Name = fmt.Sprintf("%s@x%d", s.Name, factor)
+	return s
+}
+
 // Registry lists the four benchmark datasets from Table III, in the
 // paper's order.
 var Registry = []DatasetSpec{

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"argo/internal/platform"
+)
+
+// recordingSource wraps a sectionSource and records every byte range
+// read through it, so tests can prove which parts of a store a given
+// access path touches.
+type recordingSource struct {
+	inner sectionSource
+	reads [][2]uint64 // {offset, length}
+}
+
+func (r *recordingSource) view(off, n uint64) ([]byte, error) {
+	r.reads = append(r.reads, [2]uint64{off, n})
+	return r.inner.view(off, n)
+}
+
+func (r *recordingSource) size() int64 { return r.inner.size() }
+
+// touched reports whether any recorded read intersects [off, off+n).
+func (r *recordingSource) touched(off, n uint64) bool {
+	for _, rd := range r.reads {
+		if rd[0] < off+n && off < rd[0]+rd[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func sectionExtent(t *testing.T, lz *LazyDataset, id uint32) (uint64, uint64) {
+	t.Helper()
+	e, ok := findSection(lz.sections, id)
+	if !ok {
+		t.Fatalf("store has no section %s", SectionName(id))
+	}
+	return e.Offset, e.Length
+}
+
+// The acceptance property of the sectioned format: opening a store and
+// reading its spec and stats touches no CSR or feature bytes;
+// materialising topology touches CSR but still no feature bytes.
+// Features are read only when asked for.
+func TestLazyOpenReadsOnlyMetadataSections(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSource{inner: mmapSource{buf.Bytes()}}
+	lz, err := openLazySource(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec and stats are already decoded; consuming them reads nothing.
+	if lz.Spec().Name != ds.Spec.Name {
+		t.Fatalf("spec name %q", lz.Spec().Name)
+	}
+	if lz.Stats().NumNodes != int64(ds.Graph.NumNodes) {
+		t.Fatalf("stats nodes %d", lz.Stats().NumNodes)
+	}
+	csrOff, csrLen := sectionExtent(t, lz, secCSR)
+	featOff, featLen := sectionExtent(t, lz, secFeatures)
+	labOff, labLen := sectionExtent(t, lz, secLabels)
+	if rec.touched(csrOff, csrLen) {
+		t.Fatal("opening the store read CSR bytes")
+	}
+	if rec.touched(featOff, featLen) {
+		t.Fatal("opening the store read feature bytes")
+	}
+	if rec.touched(labOff, labLen) {
+		t.Fatal("opening the store read label bytes")
+	}
+
+	// Topology-only consumers (samplers, partitioners, inspect) pay for
+	// the CSR section and nothing else.
+	g, err := lz.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Graph, g) {
+		t.Fatal("lazy topology differs from original")
+	}
+	if !rec.touched(csrOff, csrLen) {
+		t.Fatal("Topology did not read the CSR section")
+	}
+	if rec.touched(featOff, featLen) {
+		t.Fatal("Topology read feature bytes")
+	}
+
+	// Features materialise on demand — and only then.
+	m, err := lz.Features()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Features, m) {
+		t.Fatal("lazy features differ from original")
+	}
+	if !rec.touched(featOff, featLen) {
+		t.Fatal("Features did not read the features section")
+	}
+
+	// Full materialisation through the same handle equals the original.
+	full, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, full) {
+		t.Fatal("lazy-assembled dataset differs from original")
+	}
+}
+
+// File-level check of the same property: LoadCSR on a v2 *dataset*
+// store extracts topology without materialising features, and the
+// result matches the eager load.
+func TestLoadCSRFromDatasetStore(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Graph, g) {
+		t.Fatal("LoadCSR on dataset store differs from original topology")
+	}
+}
+
+// A v2 store with a corrupt features section still serves topology —
+// proof that LoadCSR never touches feature bytes even on-disk.
+func TestLoadCSRIgnoresCorruptFeatureSection(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	lzProbe, err := openLazySource(mmapSource{b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	featOff, featLen := sectionExtent(t, lzProbe, secFeatures)
+	mut := append([]byte(nil), b...)
+	mut[featOff+featLen/2] ^= 0x08
+	path := filepath.Join(t.TempDir(), "corrupt-feat.argograph")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadCSR(path)
+	if err != nil {
+		t.Fatalf("LoadCSR failed on a store whose only damage is in features: %v", err)
+	}
+	if !reflect.DeepEqual(ds.Graph, g) {
+		t.Fatal("topology mismatch")
+	}
+	// The eager load, which does decode features, must reject the store.
+	if _, err := LoadDataset(path); err == nil {
+		t.Fatal("LoadDataset accepted a corrupt features section")
+	}
+}
+
+// OpenLazy over a v1 file degrades to an eager decode behind the same
+// API: same data, stats computed, accessors all work.
+func TestOpenLazyV1Fallback(t *testing.T) {
+	want := storeTestDataset(t)
+	lz, err := OpenLazy("testdata/golden-v1.argograph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.Version() != 1 || lz.AccessMode() != "eager" {
+		t.Fatalf("version %d access %s", lz.Version(), lz.AccessMode())
+	}
+	if lz.Stats().NumNodes != int64(want.Graph.NumNodes) {
+		t.Fatalf("v1 stats nodes %d", lz.Stats().NumNodes)
+	}
+	g, err := lz.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Graph, g) {
+		t.Fatal("v1 lazy topology differs")
+	}
+	d, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, d) {
+		t.Fatal("v1 lazy dataset differs")
+	}
+}
+
+// OpenLazy on linux serves sections from an mmap; everywhere it must
+// report a coherent access mode and produce identical data.
+func TestOpenLazyFileAccessMode(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "mapped.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lz, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if platform.MmapSupported {
+		if !lz.Mapped() || lz.AccessMode() != "mmap" {
+			t.Fatalf("expected mmap access on this platform, got %s", lz.AccessMode())
+		}
+	} else if lz.AccessMode() != "pread" {
+		t.Fatalf("expected pread fallback, got %s", lz.AccessMode())
+	}
+	d, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, d) {
+		t.Fatal("mapped dataset differs from original")
+	}
+}
+
+func TestLazyFromDataset(t *testing.T) {
+	ds := storeTestDataset(t)
+	lz := LazyFromDataset(ds)
+	defer lz.Close()
+	if lz.AccessMode() != "memory" {
+		t.Fatalf("access mode %s", lz.AccessMode())
+	}
+	d, err := lz.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ds {
+		t.Fatal("LazyFromDataset did not return the wrapped dataset")
+	}
+	train, _, _, err := lz.Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != len(ds.TrainIdx) {
+		t.Fatalf("splits %d train ids, want %d", len(train), len(ds.TrainIdx))
+	}
+}
+
+// Concurrent materialisation through one handle must be race-free (the
+// race CI job runs this with -race).
+func TestLazyConcurrentAccess(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "conc.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lz, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	done := make(chan error, 4)
+	go func() { _, err := lz.Topology(); done <- err }()
+	go func() { _, err := lz.Features(); done <- err }()
+	go func() { _, err := lz.Labels(); done <- err }()
+	go func() { _, _, _, err := lz.Splits(); done <- err }()
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lz.Dataset(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -13,18 +14,20 @@ import (
 	"argo/internal/tensor"
 )
 
-// The .argograph container: a fixed 32-byte header followed by a single
-// checksummed payload.
+// The .argograph version-1 container: a fixed 32-byte header followed by
+// a single checksummed payload. Writers emit version 2 (the sectioned
+// layout in storev2.go) since PR 3; v1 is retained read-only so every
+// store ever written keeps loading through the same entry points.
 //
 //	offset  size  field
 //	0       8     magic "ARGOGRPH"
 //	8       4     format version (little-endian uint32)
 //	12      4     payload kind: 1 = Dataset, 2 = CSR
-//	16      8     payload length in bytes
-//	24      4     CRC-32C (Castagnoli) of the payload
-//	28      4     reserved, zero
+//	16      8     payload length in bytes (v1)
+//	24      4     CRC-32C (Castagnoli) of the payload (v1)
+//	28      4     reserved, zero (v1)
 //
-// The payload is a flat little-endian encoding (see encodeDataset /
+// The v1 payload is a flat little-endian encoding (see encodeDataset /
 // encodeCSR). Every multi-byte integer is little-endian; floats are stored
 // as their IEEE-754 bit patterns, so features round-trip bit-exactly. The
 // header checksum means corruption anywhere in the payload — a flipped
@@ -43,8 +46,24 @@ const (
 // integrity check far off the load critical path (multiple GB/s).
 var storeCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// Write serialises the dataset in .argograph format.
+// Write serialises the dataset in .argograph format (version 2, the
+// sectioned layout: see storev2.go).
 func (d *Dataset) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid dataset: %w", err)
+	}
+	b, err := encodeDatasetV2(d)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// writeV1 serialises the dataset in the legacy monolithic v1 format. It
+// exists for the v1→v2 compatibility fixtures and tests; new stores are
+// always written as v2.
+func (d *Dataset) writeV1(w io.Writer) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("graph: refusing to write invalid dataset: %w", err)
 	}
@@ -62,10 +81,51 @@ func (d *Dataset) Save(path string) error {
 	return saveAtomic(path, func(w io.Writer) error { return d.Write(w) })
 }
 
-// ReadDataset deserialises a dataset written with Dataset.Write. The
-// header, checksum, and every structural invariant (CSR shape, label
-// range, split bounds) are verified before the dataset is returned.
+// ReadDataset deserialises a dataset written with Dataset.Write — either
+// format version. The header, every checksum, and every structural
+// invariant (CSR shape, label range, split bounds) are verified before
+// the dataset is returned.
 func ReadDataset(r io.Reader) (*Dataset, error) {
+	version, full, err := sniffVersion(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == storeVersion {
+		return readDatasetV1(full)
+	}
+	data, err := io.ReadAll(full)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading .argograph store: %w", err)
+	}
+	lz, err := openLazySource(mmapSource{data}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if lz.kind != storeKindDataset {
+		return nil, fmt.Errorf("graph: .argograph payload kind %d, want %d", lz.kind, storeKindDataset)
+	}
+	return lz.Dataset()
+}
+
+// sniffVersion peeks the container version without losing bytes: the
+// returned reader replays the consumed header before the rest of r.
+func sniffVersion(r io.Reader) (version uint32, full io.Reader, err error) {
+	var hdr [storeHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("graph: reading .argograph header: %w", err)
+	}
+	_, version, err = parseHeader2(hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if version != storeVersion && version != storeVersion2 {
+		return 0, nil, fmt.Errorf("graph: unsupported .argograph version %d (supported: %d, %d)", version, storeVersion, storeVersion2)
+	}
+	return version, io.MultiReader(bytes.NewReader(hdr[:]), r), nil
+}
+
+// readDatasetV1 decodes a complete legacy v1 dataset container.
+func readDatasetV1(r io.Reader) (*Dataset, error) {
 	payload, err := readContainer(r, storeKindDataset)
 	if err != nil {
 		return nil, err
@@ -80,13 +140,36 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
-// ReadSpec decodes only the DatasetSpec from a .argograph dataset store
-// — the spec is the first payload field, so arbitrarily large stores
-// yield their metadata without materialising topology or features. The
-// header is validated but the payload checksum is NOT (it covers bytes
-// this function never reads); use ReadDataset / argo-data verify for
-// integrity.
+// ReadSpec decodes only the DatasetSpec from a .argograph dataset store.
+// In a v2 store that is the spec section (CRC-verified); in a v1 store
+// the spec is the first payload field, so arbitrarily large stores
+// yield their metadata without materialising topology or features. For
+// v1 the header is validated but the payload checksum is NOT (it covers
+// bytes this function never reads); use ReadDataset / argo-data verify
+// for integrity.
 func ReadSpec(r io.Reader) (DatasetSpec, error) {
+	version, full, err := sniffVersion(r)
+	if err != nil {
+		return DatasetSpec{}, err
+	}
+	if version == storeVersion2 {
+		data, err := io.ReadAll(full)
+		if err != nil {
+			return DatasetSpec{}, fmt.Errorf("graph: reading .argograph store: %w", err)
+		}
+		lz, err := openLazySource(mmapSource{data}, nil)
+		if err != nil {
+			return DatasetSpec{}, err
+		}
+		if lz.kind != storeKindDataset {
+			return DatasetSpec{}, fmt.Errorf("graph: .argograph payload kind %d, want %d", lz.kind, storeKindDataset)
+		}
+		return lz.Spec(), nil
+	}
+	return readSpecV1(full)
+}
+
+func readSpecV1(r io.Reader) (DatasetSpec, error) {
 	payloadLen, _, err := readHeader(r, storeKindDataset)
 	if err != nil {
 		return DatasetSpec{}, err
@@ -110,38 +193,95 @@ func ReadSpec(r io.Reader) (DatasetSpec, error) {
 	return spec, nil
 }
 
-// LoadSpec reads just the DatasetSpec from a .argograph store at path
-// (see ReadSpec for the integrity caveat).
+// LoadSpec reads just the DatasetSpec from a .argograph store at path:
+// the spec section of a v2 store, or the spec prefix of a v1 store (see
+// ReadSpec for the v1 integrity caveat). Either way no topology or
+// feature bytes are touched, so arbitrarily large stores resolve in
+// microseconds.
 func LoadSpec(path string) (DatasetSpec, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return DatasetSpec{}, err
 	}
-	defer f.Close()
-	spec, err := ReadSpec(f)
+	var hdr [storeHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return DatasetSpec{}, fmt.Errorf("graph: %s: reading .argograph header: %w", path, err)
+	}
+	_, version, err := parseHeader2(hdr[:])
 	if err != nil {
+		f.Close()
 		return DatasetSpec{}, fmt.Errorf("graph: %s: %w", path, err)
 	}
-	return spec, nil
+	if version == storeVersion {
+		defer f.Close()
+		spec, err := readSpecV1(io.MultiReader(bytes.NewReader(hdr[:]), f))
+		if err != nil {
+			return DatasetSpec{}, fmt.Errorf("graph: %s: %w", path, err)
+		}
+		return spec, nil
+	}
+	// v2 (and future-version rejection): the lazy opener works off
+	// ReadAt/mmap, so the 32 bytes consumed above don't matter. It
+	// takes ownership of f on success.
+	lz, err := openLazyFile(f)
+	if err != nil {
+		f.Close()
+		return DatasetSpec{}, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	defer lz.Close()
+	if lz.kind != storeKindDataset {
+		return DatasetSpec{}, fmt.Errorf("graph: %s: .argograph payload kind %d, want %d", path, lz.kind, storeKindDataset)
+	}
+	return lz.Spec(), nil
 }
 
-// LoadDataset reads a .argograph dataset store from path.
+// LoadStats reads the precomputed stats of the .argograph store at path.
+// For v2 stores only the header, section table, and stats section are
+// read; v1 stores (which predate the stats section) are decoded eagerly
+// and their stats computed.
+func LoadStats(path string) (Stats, error) {
+	lz, err := OpenLazy(path)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer lz.Close()
+	return lz.Stats(), nil
+}
+
+// LoadDataset reads a .argograph dataset store from path, either format
+// version, fully materialised and validated.
 func LoadDataset(path string) (*Dataset, error) {
-	f, err := os.Open(path)
+	lz, err := OpenLazy(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	d, err := ReadDataset(f)
+	defer lz.Close()
+	d, err := lz.Dataset()
 	if err != nil {
 		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}
 	return d, nil
 }
 
-// Write serialises the CSR graph alone in .argograph format (payload kind
-// 2), for callers that persist topology without features or labels.
+// Write serialises the CSR graph alone in .argograph v2 format (payload
+// kind 2, stats + csr sections), for callers that persist topology
+// without features or labels.
 func (g *CSR) Write(w io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid CSR: %w", err)
+	}
+	b, err := encodeCSRv2(g)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// writeV1 serialises the CSR in the legacy monolithic v1 format, for
+// compatibility fixtures and tests.
+func (g *CSR) writeV1(w io.Writer) error {
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("graph: refusing to write invalid CSR: %w", err)
 	}
@@ -156,8 +296,30 @@ func (g *CSR) Save(path string) error {
 }
 
 // ReadCSR deserialises a graph written with CSR.Write, verifying the
-// checksum and the CSR structural invariants.
+// checksum and the CSR structural invariants. A v2 *dataset* store is
+// accepted too: its csr section decodes without touching feature bytes,
+// which is the point of the sectioned layout.
 func ReadCSR(r io.Reader) (*CSR, error) {
+	version, full, err := sniffVersion(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == storeVersion {
+		return readCSRV1(full)
+	}
+	data, err := io.ReadAll(full)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading .argograph store: %w", err)
+	}
+	lz, err := openLazySource(mmapSource{data}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return lz.Topology()
+}
+
+// readCSRV1 decodes a complete legacy v1 CSR container.
+func readCSRV1(r io.Reader) (*CSR, error) {
 	payload, err := readContainer(r, storeKindCSR)
 	if err != nil {
 		return nil, err
@@ -176,14 +338,17 @@ func ReadCSR(r io.Reader) (*CSR, error) {
 	return g, nil
 }
 
-// LoadCSR reads a .argograph CSR store from path.
+// LoadCSR reads the topology of the .argograph store at path. For a v2
+// store of either kind only the header, table, stats, and csr sections
+// are read — a topology-only consumer of a dataset store never
+// materialises (or, under mmap, even faults in) its feature bytes.
 func LoadCSR(path string) (*CSR, error) {
-	f, err := os.Open(path)
+	lz, err := OpenLazy(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	g, err := ReadCSR(f)
+	defer lz.Close()
+	g, err := lz.Topology()
 	if err != nil {
 		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}

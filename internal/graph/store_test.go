@@ -73,22 +73,44 @@ func TestStoreGoldenHeader(t *testing.T) {
 	if got := string(b[:8]); got != "ARGOGRPH" {
 		t.Fatalf("magic %q", got)
 	}
-	if v := binary.LittleEndian.Uint32(b[8:]); v != 1 {
-		t.Fatalf("version %d, want 1", v)
+	if v := binary.LittleEndian.Uint32(b[8:]); v != 2 {
+		t.Fatalf("version %d, want 2", v)
 	}
 	if k := binary.LittleEndian.Uint32(b[12:]); k != storeKindDataset {
 		t.Fatalf("kind %d, want %d", k, storeKindDataset)
 	}
-	if l := binary.LittleEndian.Uint64(b[16:]); int(l) != len(b)-storeHeaderLen {
-		t.Fatalf("declared payload %d, actual %d", l, len(b)-storeHeaderLen)
+	if n := binary.LittleEndian.Uint32(b[16:]); n != 6 {
+		t.Fatalf("section count %d, want 6 (spec/stats/csr/features/labels/splits)", n)
+	}
+	if sz := binary.LittleEndian.Uint64(b[24:]); int(sz) != len(b) {
+		t.Fatalf("declared file size %d, actual %d", sz, len(b))
 	}
 	// Writes are deterministic: the same dataset encodes to the same bytes.
+	// Upgrade idempotence and the bench-smoke byte-stability gate in CI
+	// both lean on this.
 	var again bytes.Buffer
 	if err := ds.Write(&again); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(b, again.Bytes()) {
 		t.Fatal("two writes of the same dataset differ")
+	}
+}
+
+// The v1 writer is kept (read-compat fixtures); its framing stays pinned
+// too so old stores remain decodable forever.
+func TestStoreGoldenHeaderV1(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.writeV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(b[8:]); v != 1 {
+		t.Fatalf("version %d, want 1", v)
+	}
+	if l := binary.LittleEndian.Uint64(b[16:]); int(l) != len(b)-storeHeaderLen {
+		t.Fatalf("declared payload %d, actual %d", l, len(b)-storeHeaderLen)
 	}
 }
 
@@ -112,7 +134,7 @@ func TestStoreRejectsFutureVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := buf.Bytes()
-	binary.LittleEndian.PutUint32(b[8:], storeVersion+1)
+	binary.LittleEndian.PutUint32(b[8:], storeVersion2+1)
 	if _, err := ReadDataset(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future version accepted: %v", err)
 	}
@@ -168,7 +190,7 @@ func TestStoreRejectsTruncation(t *testing.T) {
 func TestStoreRejectsTrailingBytes(t *testing.T) {
 	ds := storeTestDataset(t)
 	var buf bytes.Buffer
-	if err := ds.Write(&buf); err != nil {
+	if err := ds.writeV1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// Padding the payload while fixing up the header length and checksum
@@ -219,6 +241,13 @@ func FuzzReadDataset(f *testing.F) {
 	f.Add(valid[:storeHeaderLen])
 	f.Add([]byte("ARGOGRPH"))
 	f.Add([]byte{})
+	// The legacy v1 encoding goes through its own decode path; seed it too.
+	var v1 bytes.Buffer
+	if err := ds.writeV1(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v1.Bytes()[:len(v1.Bytes())/2])
 	// A header declaring a huge payload over a tiny body.
 	huge := append([]byte(nil), valid[:storeHeaderLen]...)
 	binary.LittleEndian.PutUint64(huge[16:], 1<<60)
@@ -288,10 +317,13 @@ func TestStoreRejectsOverflowingCounts(t *testing.T) {
 	}
 }
 
+// V1 stores have no section table; ReadSpec serves their spec from the
+// payload prefix, so a reader holding only the head of a giant v1 store
+// still resolves its metadata.
 func TestReadSpecPrefixOnly(t *testing.T) {
 	ds := storeTestDataset(t)
 	var buf bytes.Buffer
-	if err := ds.Write(&buf); err != nil {
+	if err := ds.writeV1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	b := buf.Bytes()

@@ -1,0 +1,7 @@
+package platform
+
+import "errors"
+
+// ErrNoMmap is returned by MapFile on platforms without mmap support;
+// callers are expected to fall back to io.ReaderAt on the open file.
+var ErrNoMmap = errors.New("platform: mmap not supported on this platform")

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package platform
+
+import "os"
+
+// MmapSupported reports whether MapFile uses a real memory map on this
+// platform. Non-linux builds use the portable ReadAt fallback instead.
+const MmapSupported = false
+
+// MapFile always fails on non-linux platforms; the graph store falls
+// back to pread-style section reads, which preserve laziness (only the
+// byte ranges of touched sections are read) at the cost of one copy.
+func MapFile(*os.File) ([]byte, error) { return nil, ErrNoMmap }
+
+// Unmap is a no-op on platforms without mmap.
+func Unmap([]byte) error { return nil }

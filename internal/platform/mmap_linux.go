@@ -1,0 +1,48 @@
+//go:build linux
+
+package platform
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether MapFile uses a real memory map on this
+// platform. On linux it does; elsewhere callers fall back to ReadAt.
+const MmapSupported = true
+
+// MapFile maps the whole of f read-only into memory. The returned slice
+// aliases the page cache: bytes become resident on first touch, so a
+// multi-GB .argograph store can be opened without reading (or allocating)
+// more than the pages actually dereferenced. The caller must Unmap the
+// slice before closing or truncating the file.
+func MapFile(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 {
+		return nil, fmt.Errorf("platform: cannot mmap empty file %s", f.Name())
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("platform: file %s too large to mmap (%d bytes)", f.Name(), size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("platform: mmap %s: %w", f.Name(), err)
+	}
+	// The access pattern over a sectioned store is sequential within each
+	// section; MADV_WILLNEED would defeat laziness, so advise nothing and
+	// let first-touch faulting pay only for the sections used.
+	return b, nil
+}
+
+// Unmap releases a mapping returned by MapFile.
+func Unmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,61 @@
+package platform
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMapFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("argograph!"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := MapFile(f)
+	if !MmapSupported {
+		if err == nil {
+			t.Fatal("MapFile succeeded on a platform that reports no mmap support")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("mapped %d bytes differ from file contents", len(b))
+	}
+	if err := Unmap(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFileEmpty(t *testing.T) {
+	if !MmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := MapFile(f); err == nil {
+		t.Fatal("mapped an empty file")
+	}
+}
+
+func TestUnmapNil(t *testing.T) {
+	if err := Unmap(nil); err != nil {
+		t.Fatal(err)
+	}
+}
