@@ -37,6 +37,7 @@ import (
 	"runtime"
 
 	"argo/internal/core"
+	"argo/internal/ddp"
 	"argo/internal/graph"
 	"argo/internal/nn"
 	"argo/internal/platform"
@@ -289,7 +290,16 @@ type GNNTrainerOptions struct {
 	Seed      int64
 	// Binder supplies virtual cores; nil uses a generous default.
 	Binder *platform.Allocator
+	// Shards switches on shard-aware training: Dataset must be the
+	// set's Skeleton() and the sampler must be built over its graph.
+	// Each replica then maps only its own shards and exchanges halo
+	// features with the others; training losses match the single-store
+	// run on the same configuration to float precision.
+	Shards *graph.ShardSet
 }
+
+// HaloStats is the halo-exchange traffic summary of a sharded run.
+type HaloStats = ddp.HaloStats
 
 // GNNTrainer adapts the real multi-process training engine to the
 // TrainStep contract, carrying model weights across configuration
@@ -308,6 +318,7 @@ func NewGNNTrainer(opts GNNTrainerOptions) (*GNNTrainer, error) {
 		LR:        opts.LR,
 		Seed:      opts.Seed,
 		Binder:    opts.Binder,
+		Shards:    opts.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -322,6 +333,13 @@ func (t *GNNTrainer) Step(ctx context.Context, cfg Config, epochs int) (float64,
 
 // Evaluate returns validation accuracy under the current weights.
 func (t *GNNTrainer) Evaluate() (float64, error) { return t.inner.Evaluate() }
+
+// LossHistory returns the mean training loss of every epoch so far.
+func (t *GNNTrainer) LossHistory() []float64 { return t.inner.LossHistory() }
+
+// HaloStats reports the accumulated halo-exchange traffic of a sharded
+// run; zero for single-store runs.
+func (t *GNNTrainer) HaloStats() HaloStats { return t.inner.HaloStats() }
 
 // Epochs returns how many epochs have been trained.
 func (t *GNNTrainer) Epochs() int { return t.inner.Epoch() }

@@ -55,13 +55,64 @@ type strategyResult struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 }
 
-// datasetBench is the strategy comparison on one workload.
+// datasetBench is the strategy comparison on one (workload, sampler)
+// pair.
 type datasetBench struct {
 	Dataset        string           `json:"dataset"`
+	Sampler        string           `json:"sampler"`
 	Scenario       string           `json:"scenario"`
 	SpaceSize      int              `json:"space_size"`
 	OptimalSeconds float64          `json:"optimal_seconds"`
 	Strategies     []strategyResult `json:"strategies"`
+}
+
+// benchSampler is one -sampler selection: the simulated sampler/model
+// pairing the paper (and its survey) evaluates together.
+type benchSampler struct {
+	name    string
+	kind    platsim.SamplerKind
+	model   platsim.ModelKind
+	display string
+}
+
+var benchSamplers = []benchSampler{
+	{"neighbor", platsim.Neighbor, platsim.SAGE, "Neighbor-SAGE"},
+	{"shadow", platsim.Shadow, platsim.GCN, "ShaDow-GCN"},
+	{"saint", platsim.Saint, platsim.SAGE, "SAINT-SAGE"},
+	{"cluster", platsim.ClusterK, platsim.GCN, "Cluster-GCN"},
+}
+
+// parseSamplers expands the -sampler flag into concrete pairings.
+func parseSamplers(flagVal string) ([]benchSampler, error) {
+	if flagVal == "all" {
+		return benchSamplers, nil
+	}
+	var out []benchSampler
+	for _, n := range strings.Split(flagVal, ",") {
+		n = strings.TrimSpace(strings.ToLower(n))
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, s := range benchSamplers {
+			if s.name == n {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, s := range benchSamplers {
+				known = append(known, s.name)
+			}
+			return nil, fmt.Errorf("unknown sampler %q (registered: %s, or \"all\")", n, strings.Join(known, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sampler selected no samplers")
+	}
+	return out, nil
 }
 
 // benchJSON is the whole emitted artifact: one entry per benchmarked
@@ -81,6 +132,9 @@ func main() {
 	datasetFlag := flag.String("dataset", "products-sim",
 		"strategy-benchmark workloads: comma-separated registry profiles ("+strings.Join(datasets.PaperNames(), ", ")+
 			") and/or .argograph paths, or \"all\" for every paper profile")
+	samplerFlag := flag.String("sampler", "neighbor",
+		"strategy-benchmark samplers: comma-separated from neighbor, shadow, saint, cluster, or \"all\"; "+
+			"each (dataset, sampler) pair becomes one BENCH_argo.json entry")
 	jsonPath := flag.String("json", "BENCH_argo.json", "where to write the strategy benchmark JSON")
 	searches := flag.Int("searches", 20, "online-learning budget per strategy (paper Table VI: 20 on 64 cores)")
 	lazyFlag := flag.String("lazy", "auto",
@@ -103,9 +157,9 @@ func main() {
 	}
 	strategySet := false
 	flag.Visit(func(f *flag.Flag) {
-		// An explicit -json or -dataset is as clear a request for the
-		// benchmark artifact as an explicit -strategy.
-		if f.Name == "strategy" || f.Name == "json" || f.Name == "dataset" {
+		// An explicit -json, -dataset, or -sampler is as clear a request
+		// for the benchmark artifact as an explicit -strategy.
+		if f.Name == "strategy" || f.Name == "json" || f.Name == "dataset" || f.Name == "sampler" {
 			strategySet = true
 		}
 	})
@@ -147,7 +201,12 @@ func main() {
 	if *exp != "all" && *exp != "none" && !strategySet {
 		return
 	}
-	if err := benchStrategies(*strategy, *datasetFlag, *searches, *jsonPath, loadMode, *stable, os.Stdout); err != nil {
+	samplers, err := parseSamplers(strings.ToLower(strings.TrimSpace(*samplerFlag)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := benchStrategies(*strategy, *datasetFlag, samplers, *searches, *jsonPath, loadMode, *stable, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -189,13 +248,14 @@ func benchDatasets(datasetFlag string, mode datasets.LoadMode) ([]benchWorkload,
 }
 
 // benchStrategies runs each requested strategy through the public
-// Runtime.Run loop on the Table-IV simulator setting (Neighbor-SAGE on a
-// 64-core Sapphire Rapids) once per requested dataset, with an identical
-// budget everywhere, and writes the per-dataset comparison to jsonPath.
-// With stable set, wall-clock fields are zeroed so the artifact is a
-// pure function of (datasets, strategies, budget, seed) — byte-stable
-// across runs, which is what CI's bench-smoke job diffs.
-func benchStrategies(which, datasetFlag string, searches int, jsonPath string, mode datasets.LoadMode, stable bool, w *os.File) error {
+// Runtime.Run loop on the Table-IV simulator setting (a 64-core
+// Sapphire Rapids) once per requested (dataset, sampler) pair, with an
+// identical budget everywhere, and writes the per-pair comparison to
+// jsonPath. With stable set, wall-clock fields are zeroed so the
+// artifact is a pure function of (datasets, samplers, strategies,
+// budget, seed) — byte-stable across runs, which is what CI's
+// bench-smoke job diffs.
+func benchStrategies(which, datasetFlag string, samplers []benchSampler, searches int, jsonPath string, mode datasets.LoadMode, stable bool, w *os.File) error {
 	workloads, err := benchDatasets(datasetFlag, mode)
 	if err != nil {
 		return err
@@ -212,62 +272,65 @@ func benchStrategies(which, datasetFlag string, searches int, jsonPath string, m
 		Epochs:     epochs,
 	}
 	for _, wl := range workloads {
-		dsName, spec := wl.name, wl.spec
-		sc := platsim.Scenario{
-			Platform: platform.SapphireRapids2S,
-			Library:  platsim.DGL,
-			Sampler:  platsim.Neighbor,
-			Model:    platsim.SAGE,
-			Dataset:  spec,
+		for _, smp := range samplers {
+			dsName, spec := wl.name, wl.spec
+			sc := platsim.Scenario{
+				Platform: platform.SapphireRapids2S,
+				Library:  platsim.DGL,
+				Sampler:  smp.kind,
+				Model:    smp.model,
+				Dataset:  spec,
+			}
+			obj := platsim.NewObjective(sc)
+			space := argo.DefaultSpace(totalCores)
+			optimum := search.Exhaustive(space, obj).BestTime
+			db := datasetBench{
+				Dataset:        dsName,
+				Sampler:        smp.name,
+				Scenario:       smp.display + " / " + spec.Name + " / " + sc.Platform.Name,
+				SpaceSize:      space.Size(),
+				OptimalSeconds: optimum,
+			}
+			fmt.Fprintf(w, "== strategy benchmark: %s, space %d, budget %d ==\n", db.Scenario, db.SpaceSize, searches)
+			for _, name := range names {
+				rt, err := argo.NewRuntime(epochs, searches,
+					argo.WithTotalCores(totalCores),
+					argo.WithStrategy(name),
+					argo.WithSeed(7),
+				)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
+					return obj.Evaluate(cfg), nil
+				})
+				if err != nil {
+					return fmt.Errorf("strategy %s on %s/%s: %w", name, dsName, smp.name, err)
+				}
+				res := strategyResult{
+					Strategy:         name,
+					Best:             rep.Best,
+					BestEpochSeconds: rep.BestEpochSeconds,
+					Quality:          optimum / rep.BestEpochSeconds,
+					SearchEpochs:     rep.SearchEpochs,
+					TunerOverhead:    rep.TunerOverhead.String(),
+					TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
+					WallSeconds:      time.Since(start).Seconds(),
+				}
+				if stable {
+					// The simulator outputs are deterministic for a fixed
+					// seed; only the real-time measurements vary run to run.
+					res.TunerOverhead = "0s"
+					res.TunerOverheadNs = 0
+					res.WallSeconds = 0
+				}
+				db.Strategies = append(db.Strategies, res)
+				fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",
+					name, rep.Best.String(), rep.BestEpochSeconds, res.Quality, rep.TunerOverhead.Round(time.Microsecond))
+			}
+			out.Datasets = append(out.Datasets, db)
 		}
-		obj := platsim.NewObjective(sc)
-		space := argo.DefaultSpace(totalCores)
-		optimum := search.Exhaustive(space, obj).BestTime
-		db := datasetBench{
-			Dataset:        dsName,
-			Scenario:       "Neighbor-SAGE / " + spec.Name + " / " + sc.Platform.Name,
-			SpaceSize:      space.Size(),
-			OptimalSeconds: optimum,
-		}
-		fmt.Fprintf(w, "== strategy benchmark: %s, space %d, budget %d ==\n", db.Scenario, db.SpaceSize, searches)
-		for _, name := range names {
-			rt, err := argo.NewRuntime(epochs, searches,
-				argo.WithTotalCores(totalCores),
-				argo.WithStrategy(name),
-				argo.WithSeed(7),
-			)
-			if err != nil {
-				return err
-			}
-			start := time.Now()
-			rep, err := rt.Run(context.Background(), func(_ context.Context, cfg argo.Config, _ int) (float64, error) {
-				return obj.Evaluate(cfg), nil
-			})
-			if err != nil {
-				return fmt.Errorf("strategy %s on %s: %w", name, dsName, err)
-			}
-			res := strategyResult{
-				Strategy:         name,
-				Best:             rep.Best,
-				BestEpochSeconds: rep.BestEpochSeconds,
-				Quality:          optimum / rep.BestEpochSeconds,
-				SearchEpochs:     rep.SearchEpochs,
-				TunerOverhead:    rep.TunerOverhead.String(),
-				TunerOverheadNs:  rep.TunerOverhead.Nanoseconds(),
-				WallSeconds:      time.Since(start).Seconds(),
-			}
-			if stable {
-				// The simulator outputs are deterministic for a fixed
-				// seed; only the real-time measurements vary run to run.
-				res.TunerOverhead = "0s"
-				res.TunerOverheadNs = 0
-				res.WallSeconds = 0
-			}
-			db.Strategies = append(db.Strategies, res)
-			fmt.Fprintf(w, "%-11s best %-15s %.3fs/epoch  quality %.2f  overhead %s\n",
-				name, rep.Best.String(), rep.BestEpochSeconds, res.Quality, rep.TunerOverhead.Round(time.Microsecond))
-		}
-		out.Datasets = append(out.Datasets, db)
 	}
 	f, err := os.Create(jsonPath)
 	if err != nil {

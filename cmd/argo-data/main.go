@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -37,9 +38,13 @@ Subcommands:
   ls                         list registered workload profiles
   gen -dataset <name> -o <file> [-seed N] [-scale N] [-nodes N] [-edges N] [-feat N]
                              generate a profile (optionally scaled) and save it
+  shard <name|file> -k N [-part greedy|random] [-seed N] [-o <dir/base>]
+                             split a workload into N .argograph shards + manifest
   inspect <file>             print a stored dataset's statistics and section layout
                              (lazy: topology and feature bytes are never read)
-  verify <file>              check section table, checksums, and graph invariants
+  verify <file>              check section table, checksums, and graph invariants;
+                             on a manifest-carrying shard store, also validate the
+                             whole shard set (coverage, disjointness, halo edges)
   upgrade <file> [-o <out>]  rewrite a v1 store in the sectioned v2 format
 
 Registered profiles: %s
@@ -57,6 +62,8 @@ func main() {
 		err = runLs()
 	case "gen":
 		err = runGen(os.Args[2:])
+	case "shard":
+		err = runShard(os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
 	case "verify":
@@ -139,6 +146,72 @@ func runGen(args []string) error {
 	return nil
 }
 
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	k := fs.Int("k", 0, "number of shards (required, ≥1)")
+	part := fs.String("part", "greedy", "partitioner: greedy (deterministic BFS) or random")
+	seed := fs.Int64("seed", 1, "seed for workload generation and the random partitioner")
+	out := fs.String("o", "", "output dir/base for <base>.shard<i>.argograph (default: derived from the input)")
+	// Accept both `shard tiny -k 4` and `shard -k 4 tiny`.
+	var src string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		src = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if src == "" && fs.NArg() == 1 {
+		src = fs.Arg(0)
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("shard takes one workload (profile name or .argograph path)")
+	}
+	if src == "" || *k < 1 {
+		return fmt.Errorf("shard needs a workload and -k (try: argo-data shard tiny -k 4 -o shards/tiny)")
+	}
+	start := time.Now()
+	ds, err := datasets.Resolve(src, *seed)
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(start)
+	dir, base := ".", *out
+	if base == "" {
+		base = strings.TrimSuffix(filepath.Base(src), ".argograph")
+	} else {
+		// Always split and re-join through filepath so a "./base" spelling
+		// cannot leak into the manifest's File entries (OpenShardSet
+		// matches them against filepath.Base of the opened path).
+		dir, base = filepath.Dir(base), filepath.Base(base)
+		if dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	start = time.Now()
+	man, paths, err := graph.WriteShardSet(ds, dir, base, graph.ShardOptions{
+		K: *k, Partitioner: *part, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d nodes, %d arcs → %d shards (%s partition) in %s (load/gen %s)\n",
+		man.Spec.Name, man.NumNodes, man.NumArcs, man.K, man.Partitioner,
+		time.Since(start).Round(time.Microsecond), loadTime.Round(time.Microsecond))
+	var cut int64
+	for _, e := range man.Shards {
+		cut += e.CutArcs
+	}
+	fmt.Printf("edge cut: %d arcs (%.1f%% of total) — the halo-exchange traffic bound\n",
+		cut, 100*float64(cut)/float64(man.NumArcs))
+	fmt.Printf("  %-5s %-32s %8s %8s %10s %10s %7s\n", "SHARD", "FILE", "OWNED", "HALO", "ARCS", "CUT", "TRAIN")
+	for i, e := range man.Shards {
+		fmt.Printf("  %-5d %-32s %8d %8d %10d %10d %7d\n",
+			i, filepath.Base(paths[i]), e.Owned, e.Halo, e.Arcs, e.CutArcs, e.Train)
+	}
+	fmt.Printf("manifest carried by %s; train with: argo-train -shards -dataset %s\n", paths[0], paths[0])
+	return nil
+}
+
 func runInspect(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("inspect takes exactly one .argograph path")
@@ -179,6 +252,23 @@ func runInspect(args []string) error {
 	if hist := st.DegreeHist; len(hist) > 0 {
 		fmt.Printf("degrees:    hist by bit-length %v\n", hist)
 	}
+	if sh := st.Shard; sh != nil {
+		fmt.Printf("shard:      %d of %d — %d owned + %d halo nodes, %d cut arcs\n",
+			sh.Index, sh.Count, sh.Owned, sh.Halo, sh.CutArcs)
+	}
+	if man, ok, err := lz.ShardManifest(); err != nil {
+		return err
+	} else if ok {
+		var cut int64
+		for _, e := range man.Shards {
+			cut += e.CutArcs
+		}
+		fmt.Printf("manifest:   shard set %q: k=%d over %d nodes (%s partition, seed %d), edge cut %d arcs (%.1f%%)\n",
+			man.Base, man.K, man.NumNodes, man.Partitioner, man.Seed, cut, 100*float64(cut)/float64(man.NumArcs))
+		for _, e := range man.Shards {
+			fmt.Printf("            shard %d: %-28s %6d owned %6d halo %8d arcs\n", e.Index, e.File, e.Owned, e.Halo, e.Arcs)
+		}
+	}
 	if secs := lz.Sections(); len(secs) > 0 {
 		fmt.Printf("sections:\n")
 		fmt.Printf("  %-10s %12s %14s %10s\n", "NAME", "OFFSET", "LENGTH", "CRC32C")
@@ -209,6 +299,25 @@ func runVerify(args []string) error {
 	st := check.Stats
 	fmt.Printf("%s: OK (format v%d %s, %d nodes, %d arcs, %d classes, %d sections, checksums + invariants verified)\n",
 		args[0], check.Version, check.Kind, st.NumNodes, st.NumArcs, st.NumClasses, len(check.Sections))
+	// A manifest-carrying store is a shard-set handle: validate the set
+	// end to end too (topology-only — feature bytes stay untouched).
+	hasManifest := false
+	for _, s := range check.Sections {
+		if s.Name == "manifest" {
+			hasManifest = true
+		}
+	}
+	if hasManifest {
+		ss, err := graph.OpenShardSet(args[0])
+		if err != nil {
+			return err
+		}
+		defer ss.Close()
+		if err := ss.Validate(); err != nil {
+			return fmt.Errorf("shard set invalid: %w", err)
+		}
+		fmt.Printf("%s: shard set OK (k=%d, coverage + disjointness + halo consistency verified)\n", args[0], ss.K())
+	}
 	return nil
 }
 

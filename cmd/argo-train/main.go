@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,9 +32,62 @@ import (
 
 	"argo"
 	"argo/internal/datasets"
+	"argo/internal/graph"
 	"argo/internal/nn"
 	"argo/internal/sampler"
 )
+
+// benchWarmStart turns a BENCH_argo.json artifact into a warm-start
+// prior: the bench entry whose dataset profile is nearest the current
+// workload's stats (datasets.NearestProfile) contributes one prior
+// observation per benchmarked strategy. Simulated epoch seconds are not
+// this machine's epoch seconds, but as a prior they rank configurations
+// — which is all a warm start needs.
+func benchWarmStart(path string, st graph.Stats) (argo.Report, string, error) {
+	var bench struct {
+		Datasets []struct {
+			Dataset    string `json:"dataset"`
+			Strategies []struct {
+				Best             argo.Config `json:"best"`
+				BestEpochSeconds float64     `json:"best_epoch_seconds"`
+			} `json:"strategies"`
+		} `json:"datasets"`
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return argo.Report{}, "", err
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		return argo.Report{}, "", fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(bench.Datasets) == 0 {
+		return argo.Report{}, "", fmt.Errorf("%s has no dataset entries", path)
+	}
+	nearest, _, err := datasets.NearestProfile(st)
+	if err != nil {
+		return argo.Report{}, "", err
+	}
+	// Prefer the nearest profile's entry; fall back to the first one so
+	// a single-dataset bench file always warm-starts something.
+	pick := 0
+	for i, d := range bench.Datasets {
+		if d.Dataset == nearest.Name {
+			pick = i
+			break
+		}
+	}
+	var rep argo.Report
+	for _, s := range bench.Datasets[pick].Strategies {
+		if s.Best == (argo.Config{}) || s.BestEpochSeconds <= 0 {
+			continue
+		}
+		rep.History = append(rep.History, argo.EpochRecord{Config: s.Best, Seconds: s.BestEpochSeconds})
+	}
+	if len(rep.History) == 0 {
+		return argo.Report{}, "", fmt.Errorf("%s: entry %q carries no usable observations", path, bench.Datasets[pick].Dataset)
+	}
+	return rep, bench.Datasets[pick].Dataset, nil
+}
 
 func main() {
 	dataset := flag.String("dataset", "products-sim",
@@ -51,28 +105,70 @@ func main() {
 	earlyStop := flag.Int("early-stop", 0, "stop searching after N stale search epochs (0 = off)")
 	reportPath := flag.String("report", "", "write the final report as JSON to this file")
 	warmPath := flag.String("warmstart", "", "warm-start the strategy from a previous -report JSON file")
+	warmBench := flag.String("warmstart-bench", "",
+		"warm-start from a BENCH_argo.json file: the entry for the registry profile nearest this workload's stats seeds the strategy")
 	lazyFlag := flag.String("lazy", "auto",
 		"store loading for .argograph paths: auto (lazy at ≥32MB), on, off")
+	shards := flag.Bool("shards", false,
+		"treat -dataset as a shard set: name#k (in-memory) or the path of a manifest-carrying .shard0 store; "+
+			"each replica maps only its own shards and exchanges halo features")
+	procs := flag.Int("procs", 0, "pin the process count: restrict the design space to exactly N processes (0 = tune freely)")
+	lossPath := flag.String("loss-json", "", "write the per-epoch mean training loss history as JSON to this file")
 	flag.Parse()
 
 	mode, err := datasets.ParseLoadMode(*lazyFlag)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}
-	// The lazy handle yields spec and stats from the store header before
-	// any section is decoded, so huge stores announce themselves
-	// instantly; training then materialises the sections it needs.
-	lz, err := datasets.ResolveLazy(*dataset, *seed, mode)
-	if err != nil {
-		log.Fatalf("argo-train: %v", err)
-	}
-	defer lz.Close()
-	st := lz.Stats()
-	fmt.Printf("dataset %s (scaled, %s): %d nodes, %d arcs, %d classes, %d train targets\n",
-		lz.Spec().Name, lz.AccessMode(), st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount)
-	ds, err := lz.Dataset()
-	if err != nil {
-		log.Fatalf("argo-train: %v", err)
+	var (
+		ds       *graph.Dataset
+		st       graph.Stats
+		shardSet *graph.ShardSet
+	)
+	if *shards {
+		// Shard-aware path: the skeleton (topology + splits) is assembled
+		// from topology-only opens; features and labels stay in the
+		// shards and flow through the halo exchange during training.
+		shardSet, err = datasets.ResolveShards(*dataset, *seed)
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		defer shardSet.Close()
+		if err := shardSet.Validate(); err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		ds, err = shardSet.Skeleton()
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		st, err = shardSet.GlobalStats()
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		var cut int64
+		for _, e := range shardSet.Manifest.Shards {
+			cut += e.CutArcs
+		}
+		fmt.Printf("shard set %s (k=%d, %s partition): %d nodes, %d arcs, %d classes, %d train targets, edge cut %d arcs\n",
+			ds.Spec.Name, shardSet.K(), shardSet.Manifest.Partitioner,
+			st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount, cut)
+	} else {
+		// The lazy handle yields spec and stats from the store header
+		// before any section is decoded, so huge stores announce
+		// themselves instantly; training then materialises the sections
+		// it needs.
+		lz, err := datasets.ResolveLazy(*dataset, *seed, mode)
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		defer lz.Close()
+		st = lz.Stats()
+		fmt.Printf("dataset %s (scaled, %s): %d nodes, %d arcs, %d classes, %d train targets\n",
+			lz.Spec().Name, lz.AccessMode(), st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount)
+		ds, err = lz.Dataset()
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
 	}
 
 	var smp sampler.Sampler
@@ -100,6 +196,7 @@ func main() {
 		BatchSize: *batch,
 		LR:        *lr,
 		Seed:      *seed,
+		Shards:    shardSet,
 	})
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
@@ -111,6 +208,11 @@ func main() {
 		argo.WithSeed(*seed),
 		argo.WithStrategy(*strategy),
 		argo.WithLogf(func(f string, a ...any) { fmt.Printf(f+"\n", a...) }),
+	}
+	if *procs > 0 {
+		sp := argo.DefaultSpace(*cores)
+		sp.MinProcs, sp.MaxProcs = *procs, *procs
+		opts = append(opts, argo.WithSpace(sp))
 	}
 	if *earlyStop > 0 {
 		opts = append(opts, argo.WithEarlyStop(*earlyStop))
@@ -125,6 +227,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("argo-train: %v", err)
 		}
+		opts = append(opts, argo.WithWarmStart(prior))
+	}
+	if *warmBench != "" {
+		prior, from, err := benchWarmStart(*warmBench, st)
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		fmt.Printf("warm-starting from %s's entry in %s (%d prior observations)\n", from, *warmBench, len(prior.History))
 		opts = append(opts, argo.WithWarmStart(prior))
 	}
 	rt, err := argo.NewRuntime(*epochs, *searches, opts...)
@@ -155,6 +265,26 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("report written to %s\n", *reportPath)
+	}
+	if *lossPath != "" {
+		raw, err := json.Marshal(trainer.LossHistory())
+		if err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		if err := os.WriteFile(*lossPath, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		fmt.Printf("loss history (%d epochs) written to %s\n", len(trainer.LossHistory()), *lossPath)
+	}
+	if shardSet != nil {
+		hs := trainer.HaloStats()
+		total := hs.LocalRows + hs.RemoteRows
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hs.RemoteRows) / float64(total)
+		}
+		fmt.Printf("halo exchange: %d local rows, %d remote rows (%.1f%%), %d bytes moved\n",
+			hs.LocalRows, hs.RemoteRows, pct, hs.RemoteBytes)
 	}
 	acc, err := trainer.Evaluate()
 	if err != nil {

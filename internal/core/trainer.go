@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"argo/internal/ddp"
 	"argo/internal/engine"
 	"argo/internal/graph"
 	"argo/internal/nn"
@@ -32,6 +33,13 @@ type TrainerOptions struct {
 	// to an allocator over a machine with as many cores as the largest
 	// configuration can use.
 	Binder *platform.Allocator
+	// Shards switches on the shard-aware training path: Dataset must
+	// then be the set's Skeleton() (topology + splits, no features), the
+	// sampler must be built over the skeleton's graph, and every replica
+	// maps only its own shards, exchanging halo features through a
+	// ddp.HaloExchange that is rebuilt whenever the auto-tuner changes
+	// the process count (shard→replica ownership is shard index mod n).
+	Shards *graph.ShardSet
 }
 
 // Trainer runs mini-batch GNN training under changing ARGO
@@ -47,6 +55,13 @@ type Trainer struct {
 	cores   []platform.CoreID
 	weights []*tensor.Matrix
 	epoch   int
+	losses  []float64
+
+	// exchange is the current halo exchange (sharded runs only);
+	// haloTotal accumulates traffic from exchanges retired by
+	// re-launches, so HaloStats covers the whole run.
+	exchange  *ddp.HaloExchange
+	haloTotal ddp.HaloStats
 }
 
 // NewTrainer validates opts and returns an idle trainer.
@@ -91,19 +106,42 @@ func (tr *Trainer) Step(ctx context.Context, cfg search.Config, epochs int) (flo
 			return 0, err
 		}
 		tr.epoch++
+		tr.losses = append(tr.losses, res.MeanLoss)
 		total += res.Duration
 	}
 	return total.Seconds() / float64(epochs), nil
 }
 
-// Evaluate reports validation accuracy under the current weights.
+// LossHistory returns the mean training loss of every epoch trained so
+// far, in order — the convergence trace the shard-parity check
+// compares between sharded and single-store runs.
+func (tr *Trainer) LossHistory() []float64 {
+	out := make([]float64, len(tr.losses))
+	copy(out, tr.losses)
+	return out
+}
+
+// HaloStats returns the accumulated halo-exchange traffic of a sharded
+// run (zero for single-store runs), summed across auto-tuner
+// re-launches.
+func (tr *Trainer) HaloStats() ddp.HaloStats {
+	total := tr.haloTotal
+	if tr.exchange != nil {
+		total.Add(tr.exchange.TotalStats())
+	}
+	return total
+}
+
+// Evaluate reports validation accuracy under the current weights. Data-
+// source failures (possible on the sharded path) surface as errors, not
+// as a silent zero accuracy.
 func (tr *Trainer) Evaluate() (float64, error) {
 	if tr.eng == nil {
 		if err := tr.bind(search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}); err != nil {
 			return 0, err
 		}
 	}
-	return tr.eng.Evaluate(tr.opts.Dataset.ValIdx), nil
+	return tr.eng.EvaluateErr(tr.opts.Dataset.ValIdx)
 }
 
 // Engine exposes the current Multi-Process Engine (nil before first use).
@@ -128,6 +166,20 @@ func (tr *Trainer) bind(cfg search.Config) error {
 	if err != nil {
 		return fmt.Errorf("core: binding %s: %w", cfg, err)
 	}
+	// Sharded runs rebuild the replica→shard mapping for the new process
+	// count; the retired exchange's traffic is folded into the running
+	// total so the re-launch doesn't lose it.
+	var sources []engine.DataSource
+	var exchange *ddp.HaloExchange
+	if tr.opts.Shards != nil {
+		sources, exchange, err = engine.NewShardSources(tr.opts.Shards, cfg.Procs)
+		if err != nil {
+			if relErr := tr.opts.Binder.Release(cores); relErr != nil {
+				return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
+			}
+			return err
+		}
+	}
 	eng, err := engine.New(engine.Config{
 		Dataset:       tr.opts.Dataset,
 		Sampler:       tr.opts.Sampler,
@@ -138,6 +190,7 @@ func (tr *Trainer) bind(cfg search.Config) error {
 		SampleWorkers: cfg.SampleCores,
 		TrainWorkers:  cfg.TrainCores,
 		Seed:          tr.opts.Seed,
+		Sources:       sources,
 	})
 	if err != nil {
 		relErr := tr.opts.Binder.Release(cores)
@@ -154,6 +207,10 @@ func (tr *Trainer) bind(cfg search.Config) error {
 			return err
 		}
 	}
+	if tr.exchange != nil {
+		tr.haloTotal.Add(tr.exchange.TotalStats())
+	}
+	tr.exchange = exchange
 	tr.eng = eng
 	tr.cores = cores
 	tr.cfg = cfg

@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"argo/internal/graph"
+)
+
+// ParseShardSpec splits a -shards workload spec into its base workload
+// and shard count: "tiny#4" means the registry profile tiny split into
+// 4 shards; a bare name or path has no inline count (k = 0).
+func ParseShardSpec(spec string) (base string, k int, err error) {
+	i := strings.LastIndex(spec, "#")
+	if i < 0 {
+		return spec, 0, nil
+	}
+	base = spec[:i]
+	k, err = strconv.Atoi(spec[i+1:])
+	if err != nil || k < 1 {
+		return "", 0, fmt.Errorf("datasets: bad shard count in %q (want name#k, e.g. tiny#4)", spec)
+	}
+	if base == "" {
+		return "", 0, fmt.Errorf("datasets: empty workload name in %q", spec)
+	}
+	return base, k, nil
+}
+
+// ResolveShards turns a shard-set spec into an opened graph.ShardSet:
+//
+//   - "name#k" builds the registry profile with the given seed and
+//     shards it in memory with the deterministic greedy partitioner —
+//     identical contents to what `argo-data shard -k k` would store;
+//   - a path names the manifest-carrying store of a set written by
+//     `argo-data shard` (shard 0), opened lazily.
+//
+// The caller owns the returned set and must Close it.
+func ResolveShards(spec string, seed int64) (*graph.ShardSet, error) {
+	base, k, err := ParseShardSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 {
+		d, berr := Build(base, seed)
+		if berr != nil {
+			return nil, fmt.Errorf("datasets: %q: %w", spec, berr)
+		}
+		return graph.ShardSetFromDataset(d, graph.ShardOptions{K: k, Seed: seed})
+	}
+	if _, serr := os.Stat(spec); serr != nil {
+		return nil, fmt.Errorf("datasets: %q is neither name#k nor a shard store path: %v", spec, serr)
+	}
+	return graph.OpenShardSet(spec)
+}
+
+// profileSignatures caches each registry profile's *realised* stats —
+// what its scaled instance actually generates at the canonical seed —
+// computed once on first use. Matching against realisations rather than
+// raw spec numbers matters because the generator's dedup and power-law
+// clipping land the arc count well under 2× the edge target for the
+// denser profiles.
+var (
+	profileStatsOnce sync.Once
+	profileStats     map[string]graph.Stats
+)
+
+func signatures() map[string]graph.Stats {
+	profileStatsOnce.Do(func() {
+		profileStats = make(map[string]graph.Stats, len(registry))
+		for _, p := range registry {
+			if p.Spec.ScaledNodes < 1 {
+				continue
+			}
+			d, err := graph.Build(p.Spec, 1)
+			if err != nil {
+				continue // an unbuildable profile simply cannot be matched
+			}
+			profileStats[p.Name] = graph.ComputeStats(d)
+		}
+	})
+	return profileStats
+}
+
+// NearestProfile returns the registry profile whose shape is closest to
+// the given workload stats — the warm-start prior matcher: a finished
+// BENCH_argo.json entry for a similar profile is a better starting
+// point for the tuner than cold random probes. Distance is measured in
+// log space over node count, average degree, feature width, and class
+// count against each profile's realised instance, so "similar" means
+// similar orders of magnitude rather than similar absolute sizes. Ties
+// resolve to registry order.
+func NearestProfile(st graph.Stats) (Profile, float64, error) {
+	if st.NumNodes < 1 {
+		return Profile{}, 0, fmt.Errorf("datasets: stats describe no nodes")
+	}
+	sigs := signatures()
+	best := -1
+	bestDist := math.Inf(1)
+	for i, p := range registry {
+		sig, ok := sigs[p.Name]
+		if !ok {
+			continue
+		}
+		d := logDist(float64(st.NumNodes), float64(sig.NumNodes)) +
+			logDist(st.AvgDegree, sig.AvgDegree) +
+			logDist(float64(st.FeatCols), float64(sig.FeatCols)) +
+			logDist(float64(st.NumClasses), float64(sig.NumClasses))
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return Profile{}, 0, fmt.Errorf("datasets: no sized registry profile to match against")
+	}
+	return registry[best], bestDist, nil
+}
+
+// logDist is the squared distance between a and b in log space; zero or
+// negative values clamp to 1 so degenerate stats stay comparable.
+func logDist(a, b float64) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	d := math.Log(a) - math.Log(b)
+	return d * d
+}

@@ -1,0 +1,172 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+
+	"argo/internal/graph"
+	"argo/internal/tensor"
+)
+
+// HaloExchange routes feature-row and label requests between training
+// replicas in a sharded run: every global node is owned by exactly one
+// replica, and a replica gathering a mini-batch pulls foreign rows
+// through the exchange instead of from a global feature matrix. In this
+// single-machine reproduction the "network" is a function call into the
+// owning replica's shard-resident store; the per-replica traffic
+// accounting is the quantity a real multi-node transport would move, so
+// the exchange doubles as the communication model for the HyScale-GNN
+// direction.
+//
+// The exchange is safe for concurrent use by all replicas (the engine
+// runs one goroutine per replica per iteration); the serve functions it
+// is built over must be read-only, which shard-materialised matrices
+// are.
+type HaloExchange struct {
+	owner      func(graph.NodeID) (int, error)
+	serveFeat  []func(graph.NodeID) ([]float32, error)
+	serveLabel []func(graph.NodeID) (int32, error)
+	featDim    int
+
+	mu    sync.Mutex
+	stats []HaloStats
+}
+
+// HaloStats counts one replica's exchange traffic.
+type HaloStats struct {
+	LocalRows   int64 // feature rows served from the replica's own shards
+	RemoteRows  int64 // feature rows fetched from other replicas
+	RemoteBytes int64 // bytes those remote rows (and labels) represent
+}
+
+// Add accumulates other into s.
+func (s *HaloStats) Add(other HaloStats) {
+	s.LocalRows += other.LocalRows
+	s.RemoteRows += other.RemoteRows
+	s.RemoteBytes += other.RemoteBytes
+}
+
+// NewHaloExchange builds an exchange over numReplicas replicas. owner
+// maps a global node to its owning replica; serveFeat[r]/serveLabel[r]
+// return the feature row / label of a node replica r owns.
+func NewHaloExchange(
+	numReplicas, featDim int,
+	owner func(graph.NodeID) (int, error),
+	serveFeat []func(graph.NodeID) ([]float32, error),
+	serveLabel []func(graph.NodeID) (int32, error),
+) (*HaloExchange, error) {
+	if numReplicas < 1 {
+		return nil, fmt.Errorf("ddp: %d replicas", numReplicas)
+	}
+	if featDim < 1 {
+		return nil, fmt.Errorf("ddp: feature dim %d", featDim)
+	}
+	if owner == nil || len(serveFeat) != numReplicas || len(serveLabel) != numReplicas {
+		return nil, fmt.Errorf("ddp: exchange needs an owner map and %d feature/label servers", numReplicas)
+	}
+	return &HaloExchange{
+		owner:      owner,
+		serveFeat:  serveFeat,
+		serveLabel: serveLabel,
+		featDim:    featDim,
+		stats:      make([]HaloStats, numReplicas),
+	}, nil
+}
+
+// Replicas returns the number of participating replicas.
+func (h *HaloExchange) Replicas() int { return len(h.stats) }
+
+// FeatDim returns the feature width the exchange serves.
+func (h *HaloExchange) FeatDim() int { return h.featDim }
+
+// GatherFeatures assembles the feature matrix for ids on behalf of
+// replica r: rows owned by r are copied locally, foreign rows travel
+// through the exchange and are counted as remote traffic. Row order
+// follows ids exactly, so the result is bit-identical to gathering from
+// the global feature matrix.
+func (h *HaloExchange) GatherFeatures(r int, ids []graph.NodeID) (*tensor.Matrix, error) {
+	if r < 0 || r >= len(h.stats) {
+		return nil, fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
+	}
+	out := tensor.New(len(ids), h.featDim)
+	var st HaloStats
+	for i, v := range ids {
+		o, err := h.owner(v)
+		if err != nil {
+			return nil, err
+		}
+		if o < 0 || o >= len(h.serveFeat) {
+			return nil, fmt.Errorf("ddp: node %d owned by replica %d of %d", v, o, len(h.serveFeat))
+		}
+		row, err := h.serveFeat[o](v)
+		if err != nil {
+			return nil, fmt.Errorf("ddp: replica %d fetching node %d from replica %d: %w", r, v, o, err)
+		}
+		if len(row) != h.featDim {
+			return nil, fmt.Errorf("ddp: node %d served %d-wide row, want %d", v, len(row), h.featDim)
+		}
+		copy(out.Row(i), row)
+		if o == r {
+			st.LocalRows++
+		} else {
+			st.RemoteRows++
+			st.RemoteBytes += int64(h.featDim) * 4
+		}
+	}
+	h.mu.Lock()
+	h.stats[r].Add(st)
+	h.mu.Unlock()
+	return out, nil
+}
+
+// TargetLabels resolves the labels for ids on behalf of replica r,
+// counting foreign lookups as remote traffic (4 bytes each).
+func (h *HaloExchange) TargetLabels(r int, ids []graph.NodeID) ([]int32, error) {
+	if r < 0 || r >= len(h.stats) {
+		return nil, fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
+	}
+	out := make([]int32, len(ids))
+	var st HaloStats
+	for i, v := range ids {
+		o, err := h.owner(v)
+		if err != nil {
+			return nil, err
+		}
+		if o < 0 || o >= len(h.serveLabel) {
+			return nil, fmt.Errorf("ddp: node %d owned by replica %d of %d", v, o, len(h.serveLabel))
+		}
+		lab, err := h.serveLabel[o](v)
+		if err != nil {
+			return nil, fmt.Errorf("ddp: replica %d fetching label %d from replica %d: %w", r, v, o, err)
+		}
+		out[i] = lab
+		if o != r {
+			st.RemoteRows++
+			st.RemoteBytes += 4
+		} else {
+			st.LocalRows++
+		}
+	}
+	h.mu.Lock()
+	h.stats[r].Add(st)
+	h.mu.Unlock()
+	return out, nil
+}
+
+// Stats returns a copy of the per-replica traffic counters.
+func (h *HaloExchange) Stats() []HaloStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HaloStats, len(h.stats))
+	copy(out, h.stats)
+	return out
+}
+
+// TotalStats sums the per-replica counters.
+func (h *HaloExchange) TotalStats() HaloStats {
+	var total HaloStats
+	for _, s := range h.Stats() {
+		total.Add(s)
+	}
+	return total
+}

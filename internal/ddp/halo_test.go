@@ -1,0 +1,131 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+// twoReplicaExchange owns even nodes on replica 0 and odd nodes on
+// replica 1; feature rows are [v, 10v], labels are v mod 3.
+func twoReplicaExchange(t *testing.T, n int) *HaloExchange {
+	t.Helper()
+	owner := func(v graph.NodeID) (int, error) {
+		if v < 0 || int(v) >= n {
+			return 0, fmt.Errorf("node %d out of range", v)
+		}
+		return int(v) % 2, nil
+	}
+	serveFeat := make([]func(graph.NodeID) ([]float32, error), 2)
+	serveLabel := make([]func(graph.NodeID) (int32, error), 2)
+	for r := 0; r < 2; r++ {
+		r := r
+		serveFeat[r] = func(v graph.NodeID) ([]float32, error) {
+			if int(v)%2 != r {
+				return nil, fmt.Errorf("replica %d asked for foreign node %d", r, v)
+			}
+			return []float32{float32(v), float32(10 * v)}, nil
+		}
+		serveLabel[r] = func(v graph.NodeID) (int32, error) {
+			if int(v)%2 != r {
+				return 0, fmt.Errorf("replica %d asked for foreign label %d", r, v)
+			}
+			return v % 3, nil
+		}
+	}
+	ex, err := NewHaloExchange(2, 2, owner, serveFeat, serveLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestHaloExchangeGatherAndAccounting(t *testing.T) {
+	ex := twoReplicaExchange(t, 100)
+	ids := []graph.NodeID{0, 1, 2, 3, 4} // 3 even (local to r0), 2 odd (remote)
+	m, err := ex.GatherFeatures(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		row := m.Row(i)
+		if row[0] != float32(v) || row[1] != float32(10*v) {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+	labels, err := ex.TargetLabels(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		if labels[i] != v%3 {
+			t.Fatalf("label %d = %d", v, labels[i])
+		}
+	}
+	st := ex.Stats()[0]
+	// Features: 3 local + 2 remote (2 floats each); labels: 3 local + 2
+	// remote (4 bytes each).
+	if st.LocalRows != 6 || st.RemoteRows != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if want := int64(2*2*4 + 2*4); st.RemoteBytes != want {
+		t.Fatalf("remote bytes %d, want %d", st.RemoteBytes, want)
+	}
+	if total := ex.TotalStats(); total != st {
+		t.Fatalf("total %+v != only replica's stats %+v", total, st)
+	}
+}
+
+func TestHaloExchangeErrors(t *testing.T) {
+	ex := twoReplicaExchange(t, 10)
+	if _, err := ex.GatherFeatures(0, []graph.NodeID{50}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := ex.GatherFeatures(7, []graph.NodeID{0}); err == nil {
+		t.Fatal("bad replica index accepted")
+	}
+	if _, err := ex.TargetLabels(-1, []graph.NodeID{0}); err == nil {
+		t.Fatal("negative replica index accepted")
+	}
+	if _, err := NewHaloExchange(0, 2, nil, nil, nil); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	if _, err := NewHaloExchange(2, 2, nil, nil, nil); err == nil {
+		t.Fatal("nil owner accepted")
+	}
+}
+
+// The exchange is called concurrently by every replica each iteration;
+// the counters must stay exact under contention (this test is the race
+// detector's target too).
+func TestHaloExchangeConcurrent(t *testing.T) {
+	ex := twoReplicaExchange(t, 1000)
+	ids := make([]graph.NodeID, 100)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	var wg sync.WaitGroup
+	const iters = 20
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := ex.GatherFeatures(r, ids); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	total := ex.TotalStats()
+	if got, want := total.LocalRows+total.RemoteRows, int64(2*iters*len(ids)); got != want {
+		t.Fatalf("counted %d rows, want %d", got, want)
+	}
+	if total.RemoteRows != int64(iters*len(ids)) {
+		t.Fatalf("remote rows %d, want %d (each replica owns half)", total.RemoteRows, iters*len(ids))
+	}
+}

@@ -33,6 +33,13 @@ type Config struct {
 	// process trains on a full-size batch from its own partition
 	// (effective batch n·B).
 	AdjustBatch bool
+	// Sources, when non-nil, supplies each replica's feature/label
+	// source (len must equal NumProcs) — the shard-aware training path,
+	// where Dataset carries only topology, splits, spec, and class
+	// count, and every feature/label lookup goes through the replica's
+	// source (NewShardSources). Nil means every replica reads the
+	// materialised Dataset directly.
+	Sources []DataSource
 }
 
 // EpochResult summarises one training epoch.
@@ -45,16 +52,19 @@ type EpochResult struct {
 	BatchSeen int // total target nodes processed
 }
 
-// replica is one "GNN process": its own model, optimizer and worker pools.
+// replica is one "GNN process": its own model, optimizer, worker pools,
+// and data source (the global dataset, or its mapped shards).
 type replica struct {
 	model     *nn.GNN
 	opt       *nn.Adam
 	trainPool *tensor.Pool
+	source    DataSource
 
 	// per-iteration scratch, written by the replica's goroutine only
 	lastLoss  float64
 	lastCount int
 	lastStats sampler.Stats
+	lastErr   error
 }
 
 // Engine trains a GNN with n synchronized replicas. It is the substrate
@@ -89,6 +99,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Model.Kind == "" {
 		return nil, fmt.Errorf("engine: model spec required")
 	}
+	if cfg.Sources != nil && len(cfg.Sources) != cfg.NumProcs {
+		return nil, fmt.Errorf("engine: %d sources for %d replicas", len(cfg.Sources), cfg.NumProcs)
+	}
+	if cfg.Sources == nil && (cfg.Dataset.Features == nil || cfg.Dataset.Labels == nil) {
+		return nil, fmt.Errorf("engine: dataset has no features/labels and no replica sources were provided")
+	}
 	cfg.AdjustBatch = true
 	e := &Engine{cfg: cfg}
 	degrees := nn.Degrees(cfg.Dataset.Graph)
@@ -97,10 +113,15 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		src := DataSource(datasetSource{cfg.Dataset})
+		if cfg.Sources != nil {
+			src = cfg.Sources[r]
+		}
 		e.replicas = append(e.replicas, &replica{
 			model:     m,
 			opt:       nn.NewAdam(cfg.LR),
 			trainPool: tensor.NewPool(cfg.TrainWorkers),
+			source:    src,
 		})
 	}
 	return e, nil
@@ -190,13 +211,16 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				e.replicas[r].step(prefetchers[r].Next(), ds)
+				e.replicas[r].step(prefetchers[r].Next())
 			}(r)
 		}
 		wg.Wait()
 		anyWork := false
 		for r := 0; r < n; r++ {
 			rep := e.replicas[r]
+			if rep.lastErr != nil {
+				return res, fmt.Errorf("engine: replica %d: %w", r, rep.lastErr)
+			}
 			weights[r] = float64(rep.lastCount)
 			if rep.lastCount > 0 {
 				anyWork = true
@@ -229,21 +253,28 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 	return res, nil
 }
 
-// step computes one replica's gradient contribution for a mini-batch.
-// An empty share zeroes the gradients and reports weight 0.
-func (rep *replica) step(mb *sampler.MiniBatch, ds *graph.Dataset) {
+// step computes one replica's gradient contribution for a mini-batch,
+// reading features and labels through the replica's data source. An
+// empty share zeroes the gradients and reports weight 0.
+func (rep *replica) step(mb *sampler.MiniBatch) {
 	rep.model.ZeroGrad()
 	rep.lastCount = 0
 	rep.lastLoss = 0
 	rep.lastStats = sampler.Stats{}
+	rep.lastErr = nil
 	if mb == nil || len(mb.Targets) == 0 {
 		return
 	}
-	x0 := nn.Gather(ds.Features, mb.InputNodes())
+	x0, err := rep.source.GatherFeatures(mb.InputNodes())
+	if err != nil {
+		rep.lastErr = err
+		return
+	}
 	logits := rep.model.Forward(rep.trainPool, mb, x0)
-	labels := make([]int32, len(mb.Targets))
-	for i, v := range mb.Targets {
-		labels[i] = ds.Labels[v]
+	labels, err := rep.source.TargetLabels(mb.Targets)
+	if err != nil {
+		rep.lastErr = err
+		return
 	}
 	loss, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
 	rep.model.Backward(rep.trainPool, dLogits)
@@ -285,9 +316,21 @@ func (e *Engine) ImportWeights(ws []*tensor.Matrix) error {
 
 // Evaluate returns replica 0's accuracy on the given node IDs, sampling
 // evaluation batches with a fixed seed so results are deterministic.
+// Features and labels flow through replica 0's data source, so sharded
+// and single-store runs evaluate identically.
 func (e *Engine) Evaluate(ids []graph.NodeID) float64 {
-	if len(ids) == 0 {
+	acc, err := e.EvaluateErr(ids)
+	if err != nil {
 		return 0
+	}
+	return acc
+}
+
+// EvaluateErr is Evaluate with source errors surfaced (a sharded source
+// can fail on an unmapped node; the in-memory source cannot).
+func (e *Engine) EvaluateErr(ids []graph.NodeID) (float64, error) {
+	if len(ids) == 0 {
+		return 0, nil
 	}
 	const evalBatch = 256
 	rep := e.replicas[0]
@@ -300,13 +343,16 @@ func (e *Engine) Evaluate(ids []graph.NodeID) float64 {
 		targets := ids[lo:hi]
 		rng := newEvalRand(e.cfg.Seed, lo)
 		mb := e.cfg.Sampler.Sample(rng, targets)
-		x0 := nn.Gather(e.cfg.Dataset.Features, mb.InputNodes())
+		x0, err := rep.source.GatherFeatures(mb.InputNodes())
+		if err != nil {
+			return 0, err
+		}
 		logits := rep.model.Forward(rep.trainPool, mb, x0)
-		labels := make([]int32, len(targets))
-		for i, v := range targets {
-			labels[i] = e.cfg.Dataset.Labels[v]
+		labels, err := rep.source.TargetLabels(targets)
+		if err != nil {
+			return 0, err
 		}
 		correctWeighted += nn.Accuracy(logits, labels) * float64(len(targets))
 	}
-	return correctWeighted / float64(len(ids))
+	return correctWeighted / float64(len(ids)), nil
 }

@@ -17,7 +17,7 @@ func TestAllSamplersTrainEndToEnd(t *testing.T) {
 	samplers := map[string]sampler.Sampler{
 		"neighbor":  sampler.NewNeighbor(ds.Graph, []int{5, 5}),
 		"shadow":    sampler.NewShaDow(ds.Graph, []int{5, 3}, 2),
-		"cluster":   sampler.NewCluster(ds.Graph, 10, 2, 1),
+		"cluster":   sampler.NewCluster(ds.Graph, 10, 2),
 		"saint-rw":  sampler.NewSaintRW(ds.Graph, 2, 3, 2),
 		"fullgraph": sampler.NewFullGraph(ds.Graph, 2),
 	}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+)
+
+func shardedTestDataset(t *testing.T) *graph.Dataset {
+	t.Helper()
+	spec := graph.DatasetSpec{
+		Name:        "sharded-engine",
+		ScaledNodes: 240, ScaledEdges: 1400,
+		ScaledF0: 10, ScaledHidden: 8, ScaledClasses: 3,
+		Homophily: 0.65, Exponent: 2.2, TrainFrac: 0.5,
+	}
+	ds, err := graph.Build(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func shardedEngineConfig(ds *graph.Dataset, numProcs int) Config {
+	return Config{
+		Dataset:       ds,
+		Sampler:       sampler.NewNeighbor(ds.Graph, []int{5, 4, 3}),
+		Model:         nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{10, 8, 8, 3}, Seed: 3},
+		BatchSize:     32,
+		LR:            0.01,
+		NumProcs:      numProcs,
+		SampleWorkers: 1,
+		TrainWorkers:  1,
+		Seed:          7,
+	}
+}
+
+// The acceptance gate for the sharded training path: k-shard training
+// with n replicas (shards unevenly mapped: k=3 on n=2) produces the
+// same loss history and the same final weights as single-store training
+// with the same n — the sampler runs over the assembled topology, the
+// sources return bit-identical feature rows, so every gradient matches.
+func TestShardedTrainingMatchesSingleStore(t *testing.T) {
+	ds := shardedTestDataset(t)
+	const numProcs, epochs = 2, 3
+
+	base, err := New(shardedEngineConfig(ds, numProcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseLoss []float64
+	for ep := 0; ep < epochs; ep++ {
+		res, err := base.RunEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseLoss = append(baseLoss, res.MeanLoss)
+	}
+
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.Features != nil || skel.Labels != nil {
+		t.Fatal("skeleton materialised features/labels")
+	}
+	sources, ex, err := NewShardSources(ss, numProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shardedEngineConfig(skel, numProcs)
+	cfg.Sampler = sampler.NewNeighbor(skel.Graph, []int{5, 4, 3})
+	cfg.Sources = sources
+	sharded, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < epochs; ep++ {
+		res, err := sharded.RunEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(res.MeanLoss - baseLoss[ep]); diff > 1e-9 {
+			t.Fatalf("epoch %d: sharded loss %v, single-store %v (diff %v)", ep, res.MeanLoss, baseLoss[ep], diff)
+		}
+	}
+
+	bw, sw := base.ExportWeights(), sharded.ExportWeights()
+	for i := range bw {
+		if d := bw[i].MaxAbsDiff(sw[i]); d != 0 {
+			t.Fatalf("weight tensor %d diverged by %v between sharded and single-store training", i, d)
+		}
+	}
+
+	// With 3 shards on 2 replicas the batch shares cross ownership
+	// boundaries constantly: the exchange must have moved real traffic.
+	total := ex.TotalStats()
+	if total.RemoteRows == 0 || total.RemoteBytes == 0 {
+		t.Fatalf("no halo traffic recorded: %+v", total)
+	}
+	perReplica := ex.Stats()
+	if len(perReplica) != numProcs {
+		t.Fatalf("%d stat rows for %d replicas", len(perReplica), numProcs)
+	}
+
+	// Evaluation parity through the sources.
+	accBase, err := base.EvaluateErr(ds.ValIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accSharded, err := sharded.EvaluateErr(skel.ValIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accBase != accSharded {
+		t.Fatalf("validation accuracy diverged: %v vs %v", accBase, accSharded)
+	}
+}
+
+// The assembled topology the sharded path samples over is identical to
+// the original graph — same RowPtr, same Col — so sampling seeds land
+// on the same neighbours.
+func TestShardedSkeletonTopologyExact(t *testing.T) {
+	ds := shardedTestDataset(t)
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.Graph.NumNodes != ds.Graph.NumNodes || skel.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("assembled topology has different shape")
+	}
+	for v := 0; v <= ds.Graph.NumNodes; v++ {
+		if skel.Graph.RowPtr[v] != ds.Graph.RowPtr[v] {
+			t.Fatalf("RowPtr diverges at %d", v)
+		}
+	}
+	for i := range ds.Graph.Col {
+		if skel.Graph.Col[i] != ds.Graph.Col[i] {
+			t.Fatalf("Col diverges at %d", i)
+		}
+	}
+	for si, pair := range [][2][]graph.NodeID{
+		{skel.TrainIdx, ds.TrainIdx}, {skel.ValIdx, ds.ValIdx}, {skel.TestIdx, ds.TestIdx},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("split %d length differs", si)
+		}
+		for j := range pair[0] {
+			if pair[0][j] != pair[1][j] {
+				t.Fatalf("split %d order diverges at %d (sharding must preserve split order, not just membership)", si, j)
+			}
+		}
+	}
+}
+
+// Config validation: sources must match the replica count, and a
+// skeleton dataset without sources is rejected before training.
+func TestShardedConfigValidation(t *testing.T) {
+	ds := shardedTestDataset(t)
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shardedEngineConfig(skel, 2)
+	cfg.Sampler = sampler.NewNeighbor(skel.Graph, []int{5, 4, 3})
+	if _, err := New(cfg); err == nil {
+		t.Fatal("skeleton dataset without sources accepted")
+	}
+	sources, _, err := NewShardSources(ss, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sources = sources[:1]
+	if _, err := New(cfg); err == nil {
+		t.Fatal("source/replica count mismatch accepted")
+	}
+	cfg.Sources = sources
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewShardSources(ss, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}

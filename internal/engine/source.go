@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"argo/internal/ddp"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/tensor"
+)
+
+// DataSource feeds one replica's feature and label lookups. The default
+// source reads the global in-memory dataset; the sharded source reads
+// the replica's own mapped shards and pulls foreign rows through a
+// ddp.HaloExchange. The engine's training step is identical either way
+// — same values in, same gradients out — which is what makes sharded
+// training loss-equivalent to single-store training.
+type DataSource interface {
+	// GatherFeatures returns the feature rows of ids, in order.
+	GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error)
+	// TargetLabels returns the labels of ids, in order.
+	TargetLabels(ids []graph.NodeID) ([]int32, error)
+}
+
+// datasetSource serves every replica from the one materialised dataset.
+type datasetSource struct{ ds *graph.Dataset }
+
+func (s datasetSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
+	return nn.Gather(s.ds.Features, ids), nil
+}
+
+func (s datasetSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
+	out := make([]int32, len(ids))
+	for i, v := range ids {
+		out[i] = s.ds.Labels[v]
+	}
+	return out, nil
+}
+
+// shardSource is one replica's view of a sharded run: every lookup goes
+// through the exchange, which serves owned rows locally and foreign
+// rows from their owning replica.
+type shardSource struct {
+	ex      *ddp.HaloExchange
+	replica int
+}
+
+func (s shardSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
+	return s.ex.GatherFeatures(s.replica, ids)
+}
+
+func (s shardSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
+	return s.ex.TargetLabels(s.replica, ids)
+}
+
+// replicaShard is one shard materialised into its owning replica's
+// memory: the owned id list plus the shard-resident features/labels.
+type replicaShard struct {
+	owned  []graph.NodeID
+	feats  *tensor.Matrix
+	labels []int32
+}
+
+// row returns the local row index of global node v, or -1.
+func (rs *replicaShard) row(v graph.NodeID) int {
+	i := sort.Search(len(rs.owned), func(i int) bool { return rs.owned[i] >= v })
+	if i < len(rs.owned) && rs.owned[i] == v {
+		return i
+	}
+	return -1
+}
+
+// NewShardSources maps a shard set onto numProcs replicas: shard s is
+// owned by replica s mod numProcs, each replica materialises only its
+// own shards' feature and label sections (lazy / mmap-backed for
+// file-backed sets — the other shards' feature bytes are never read by
+// this replica), and all lookups flow through the returned
+// HaloExchange, whose stats expose the cross-replica traffic a real
+// multi-node run would put on the wire.
+func NewShardSources(ss *graph.ShardSet, numProcs int) ([]DataSource, *ddp.HaloExchange, error) {
+	if numProcs < 1 {
+		return nil, nil, fmt.Errorf("engine: %d replicas for a shard set", numProcs)
+	}
+	k := ss.K()
+	featDim := ss.Manifest.FeatDim
+	perShard := make([]*replicaShard, k)
+	for s := 0; s < k; s++ {
+		sm, err := ss.ShardMap(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		lz, err := ss.Shard(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		feats, err := lz.Features()
+		if err != nil {
+			return nil, nil, err
+		}
+		labels, err := lz.Labels()
+		if err != nil {
+			return nil, nil, err
+		}
+		if feats.Cols != featDim || feats.Rows < len(sm.Owned) || len(labels) < len(sm.Owned) {
+			return nil, nil, fmt.Errorf("engine: shard %d features/labels smaller than its owned set", s)
+		}
+		perShard[s] = &replicaShard{owned: sm.Owned, feats: feats, labels: labels}
+	}
+
+	owner := func(v graph.NodeID) (int, error) {
+		s, err := ss.Owner(v)
+		if err != nil {
+			return 0, err
+		}
+		return s % numProcs, nil
+	}
+	// Per-replica servers look only inside the replica's own shards.
+	serveFeat := make([]func(graph.NodeID) ([]float32, error), numProcs)
+	serveLabel := make([]func(graph.NodeID) (int32, error), numProcs)
+	for r := 0; r < numProcs; r++ {
+		var mine []*replicaShard
+		for s := r; s < k; s += numProcs {
+			mine = append(mine, perShard[s])
+		}
+		find := func(v graph.NodeID) (*replicaShard, int, error) {
+			for _, rs := range mine {
+				if i := rs.row(v); i >= 0 {
+					return rs, i, nil
+				}
+			}
+			return nil, 0, fmt.Errorf("engine: node %d not owned by any mapped shard", v)
+		}
+		serveFeat[r] = func(v graph.NodeID) ([]float32, error) {
+			rs, i, err := find(v)
+			if err != nil {
+				return nil, err
+			}
+			return rs.feats.Row(i), nil
+		}
+		serveLabel[r] = func(v graph.NodeID) (int32, error) {
+			rs, i, err := find(v)
+			if err != nil {
+				return 0, err
+			}
+			return rs.labels[i], nil
+		}
+	}
+	ex, err := ddp.NewHaloExchange(numProcs, featDim, owner, serveFeat, serveLabel)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := make([]DataSource, numProcs)
+	for r := range sources {
+		sources[r] = shardSource{ex: ex, replica: r}
+	}
+	return sources, ex, nil
+}

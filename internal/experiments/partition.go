@@ -38,7 +38,7 @@ func PartitionAblation(w io.Writer) ([]PartitionRow, error) {
 	})
 
 	start = time.Now()
-	gp := graph.GreedyPartition(ds.Graph, parts, rand.New(rand.NewSource(1)))
+	gp := graph.GreedyPartition(ds.Graph, parts)
 	rows = append(rows, PartitionRow{
 		Strategy: "greedy BFS (METIS stand-in)", EdgeCut: gp.EdgeCut(ds.Graph),
 		Balance: gp.Balance(ds.Graph), BuildTime: time.Since(start),

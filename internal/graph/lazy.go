@@ -493,11 +493,18 @@ func (l *LazyDataset) Dataset() (*Dataset, error) {
 // API, so registry-built workloads and file-backed ones flow through
 // one code path in callers.
 func LazyFromDataset(d *Dataset) *LazyDataset {
+	return lazyFromDatasetWithStats(d, ComputeStats(d))
+}
+
+// lazyFromDatasetWithStats is LazyFromDataset for callers that already
+// hold the dataset's stats (the in-memory shard constructor computes
+// per-shard stats once in buildShards).
+func lazyFromDatasetWithStats(d *Dataset, st Stats) *LazyDataset {
 	return &LazyDataset{
 		version: storeVersion2,
 		kind:    storeKindDataset,
 		spec:    d.Spec,
-		stats:   ComputeStats(d),
+		stats:   st,
 		eager:   d,
 		graph:   d.Graph,
 	}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Partition assigns every node to one of k parts. It is the output of the
@@ -24,17 +25,33 @@ func RandomPartition(g *CSR, k int, rng *rand.Rand) *Partition {
 	return p
 }
 
-// GreedyPartition grows k balanced parts by repeated BFS from random
-// seeds, preferring frontier nodes with the most already-assigned
-// neighbours in the growing part (a cheap stand-in for METIS: it trades
-// noticeable partitioning time for a much lower edge cut).
-func GreedyPartition(g *CSR, k int, rng *rand.Rand) *Partition {
+// GreedyPartition grows k balanced parts by repeated BFS (a cheap
+// stand-in for METIS: it trades noticeable partitioning time for a much
+// lower edge cut). It is fully deterministic: BFS seeds are taken in
+// descending-degree order with ties broken by ascending node id, and the
+// BFS itself expands adjacency lists in their stored (sorted) order —
+// the same graph always yields the same partition, which is what lets
+// shard sets round-trip byte-stably and `argo-data shard` be
+// reproducible across runs. (The previous implementation seeded from a
+// random permutation, so equal-degree nodes could land in different
+// parts run to run.)
+func GreedyPartition(g *CSR, k int) *Partition {
 	p := &Partition{K: k, Assign: make([]int32, g.NumNodes)}
 	for v := range p.Assign {
 		p.Assign[v] = -1
 	}
 	target := (g.NumNodes + k - 1) / k
-	order := rng.Perm(g.NumNodes)
+	order := make([]int, g.NumNodes)
+	for v := range order {
+		order[v] = v
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(NodeID(order[i])), g.Degree(NodeID(order[j]))
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
 	cursor := 0
 	nextSeed := func() NodeID {
 		for cursor < len(order) {

@@ -3,12 +3,15 @@ package graph
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 )
 
 // knownSection reports whether this version of the code understands the
-// section id (and can therefore re-encode its contents).
-func knownSection(id uint32) bool { return id >= secSpec && id <= secSplits }
+// section id (and can therefore carry it through a rewrite). The shard
+// sections are position-independent, so UpgradeStore preserves their
+// raw bytes rather than re-encoding them.
+func knownSection(id uint32) bool { return id >= secSpec && id <= secManifest }
 
 // UpgradeStore rewrites the .argograph store at src in format v2 at dst
 // (dst may equal src; the write is atomic either way). Both payload
@@ -25,21 +28,39 @@ func UpgradeStore(src, dst string) (srcVersion int, identical bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
+	// Extra sections beyond the six dataset ones (the shard sections)
+	// are position-independent, so they are carried through raw — copied
+	// out of the mapping, which is released before dst is written. Ids
+	// this version has never heard of are refused rather than dropped.
+	var extras []section
 	for _, e := range lz.sections {
 		if !knownSection(e.ID) {
 			lz.Close()
 			return 0, false, fmt.Errorf("graph: %s: has a %s section this version cannot re-encode; upgrading would drop it", src, SectionName(e.ID))
 		}
+		if e.ID > secSplits {
+			raw, err := lz.sectionBytes(e.ID)
+			if err != nil {
+				lz.Close()
+				return 0, false, fmt.Errorf("graph: %s: %w", src, err)
+			}
+			extras = append(extras, section{e.ID, append([]byte(nil), raw...)})
+		}
 	}
 	srcVersion = lz.Version()
 	var srcRaw []byte
+	var statsOverride *Stats
 	if srcVersion >= 2 {
 		// Snapshot the source bytes before an in-place rewrite so the
-		// idempotence claim can be checked rather than assumed.
+		// idempotence claim can be checked rather than assumed. The
+		// decoded stats are reused verbatim so a shard store's halo
+		// profile survives the rewrite.
 		if srcRaw, err = os.ReadFile(src); err != nil {
 			lz.Close()
 			return 0, false, err
 		}
+		st := lz.Stats()
+		statsOverride = &st
 	}
 	var d *Dataset
 	var g *CSR
@@ -47,7 +68,11 @@ func UpgradeStore(src, dst string) (srcVersion int, identical bool, err error) {
 	case storeKindDataset:
 		d, err = lz.Dataset()
 	case storeKindCSR:
-		g, err = lz.Topology()
+		if len(extras) > 0 {
+			err = fmt.Errorf("bare-CSR store carries shard sections; refusing to rewrite")
+		} else {
+			g, err = lz.Topology()
+		}
 	default:
 		err = fmt.Errorf("unknown .argograph payload kind %d", lz.kind)
 	}
@@ -59,7 +84,14 @@ func UpgradeStore(src, dst string) (srcVersion int, identical bool, err error) {
 		return 0, false, closeErr
 	}
 	if d != nil {
-		err = d.Save(dst)
+		raw, encErr := encodeDatasetV2Extra(d, statsOverride, extras)
+		if encErr != nil {
+			return 0, false, encErr
+		}
+		err = saveAtomic(dst, func(w io.Writer) error {
+			_, werr := w.Write(raw)
+			return werr
+		})
 	} else {
 		err = g.Save(dst)
 	}

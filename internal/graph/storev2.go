@@ -57,9 +57,17 @@ const (
 	secLabels   = 5 // u64 count, i32×count
 	secSplits   = 6 // 3 × (u64 count, i32×count) train/val/test
 
+	// Shard-set sections (PR 4). Both ride the extensible section table:
+	// a reader that predates them still opens, verifies (CRC-only for the
+	// ids it cannot decode), and trains from a shard store, because the
+	// dataset sections above are untouched.
+	secShardMap = 7 // binary local↔global node map of one shard (see ShardMap)
+	secManifest = 8 // ShardManifest as JSON, carried by the manifest shard only
+
 	sectionEntryLen = 32
-	// A v2 store has at most the six known sections; a table claiming
-	// more is corruption (future versions bump the format version).
+	// A v2 store has at most a handful of known sections; a table
+	// claiming more is corruption (future versions bump the format
+	// version).
 	maxSections = 64
 
 	// JSON sections are small by construction; a multi-megabyte spec or
@@ -95,6 +103,21 @@ type Stats struct {
 	// bucket 0 is degree 0, bucket 1 is degree 1, bucket i≥2 covers
 	// [2^(i−1), 2^i). Trailing empty buckets are trimmed.
 	DegreeHist []int64 `json:"degree_hist"`
+	// Shard carries the halo/ownership profile when this store is one
+	// shard of a ShardSet; nil for ordinary stores, so their stats JSON
+	// (and therefore their bytes) are unchanged from pre-shard writers.
+	Shard *ShardStats `json:"shard,omitempty"`
+}
+
+// ShardStats is the per-shard profile embedded in a shard store's stats
+// section: how much of the store is owned versus halo-cached, and how
+// many arcs leave the partition (the halo-exchange traffic bound).
+type ShardStats struct {
+	Index   int   `json:"index"`    // this shard's index in the set
+	Count   int   `json:"count"`    // number of shards in the set (k)
+	Owned   int   `json:"owned"`    // nodes this shard owns
+	Halo    int   `json:"halo"`     // 1-hop ghost nodes cached locally
+	CutArcs int64 `json:"cut_arcs"` // arcs from owned nodes to halo nodes
 }
 
 // ComputeStats derives the stats section from a materialised dataset.
@@ -162,17 +185,24 @@ func SectionName(id uint32) string {
 		return "labels"
 	case secSplits:
 		return "splits"
+	case secShardMap:
+		return "shardmap"
+	case secManifest:
+		return "manifest"
 	}
 	return fmt.Sprintf("unknown(%d)", id)
+}
+
+// section is one (id, payload) pair handed to encodeSections.
+type section struct {
+	id      uint32
+	payload []byte
 }
 
 // encodeSections lays out a v2 container from (id, payload) pairs and
 // returns the full file bytes. Sections are written in the given order,
 // back to back after the table.
-func encodeSections(kind uint32, sections []struct {
-	id      uint32
-	payload []byte
-}) []byte {
+func encodeSections(kind uint32, sections []section) []byte {
 	tableLen := sectionEntryLen * len(sections)
 	total := storeHeaderLen + tableLen
 	for _, s := range sections {
@@ -202,11 +232,25 @@ func encodeSections(kind uint32, sections []struct {
 
 // encodeDatasetV2 serialises d as a sectioned v2 container.
 func encodeDatasetV2(d *Dataset) ([]byte, error) {
+	return encodeDatasetV2Extra(d, nil, nil)
+}
+
+// encodeDatasetV2Extra serialises d with an optional stats override (the
+// shard writer embeds its halo profile) and optional extra sections with
+// ids above secSplits, appended after the standard six in the given
+// order. It is the single writer both ordinary stores and shard stores
+// (and UpgradeStore's extra-section carry-through) go through, so the
+// encoding stays canonical.
+func encodeDatasetV2Extra(d *Dataset, statsOverride *Stats, extras []section) ([]byte, error) {
 	specJSON, err := json.Marshal(d.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("graph: encoding spec: %w", err)
 	}
-	statsJSON, err := json.Marshal(ComputeStats(d))
+	st := ComputeStats(d)
+	if statsOverride != nil {
+		st = *statsOverride
+	}
+	statsJSON, err := json.Marshal(st)
 	if err != nil {
 		return nil, fmt.Errorf("graph: encoding stats: %w", err)
 	}
@@ -224,17 +268,23 @@ func encodeDatasetV2(d *Dataset) ([]byte, error) {
 		splits.u64(uint64(len(split)))
 		splits.i32s(split)
 	}
-	return encodeSections(storeKindDataset, []struct {
-		id      uint32
-		payload []byte
-	}{
+	sections := []section{
 		{secSpec, specJSON},
 		{secStats, statsJSON},
 		{secCSR, csr.buf},
 		{secFeatures, feats.buf},
 		{secLabels, labels.buf},
 		{secSplits, splits.buf},
-	}), nil
+	}
+	last := uint32(secSplits)
+	for _, e := range extras {
+		if e.id <= last {
+			return nil, fmt.Errorf("graph: extra section id %d not above %d (ids must stay strictly ascending)", e.id, last)
+		}
+		last = e.id
+		sections = append(sections, e)
+	}
+	return encodeSections(storeKindDataset, sections), nil
 }
 
 // encodeCSRv2 serialises a bare topology as a sectioned v2 container
@@ -246,10 +296,7 @@ func encodeCSRv2(g *CSR) ([]byte, error) {
 	}
 	var csr enc
 	encodeCSR(&csr, g)
-	return encodeSections(storeKindCSR, []struct {
-		id      uint32
-		payload []byte
-	}{
+	return encodeSections(storeKindCSR, []section{
 		{secStats, statsJSON},
 		{secCSR, csr.buf},
 	}), nil

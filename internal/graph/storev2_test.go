@@ -317,18 +317,18 @@ func TestUnknownSectionVerifiedAndNotDropped(t *testing.T) {
 		splits.u64(uint64(len(split)))
 		splits.i32s(split)
 	}
-	manifest := []byte("future manifest payload")
-	b := encodeSections(storeKindDataset, []struct {
-		id      uint32
-		payload []byte
-	}{
+	// Id 63 is unknown to this version of the code (7 and 8 are the
+	// shard sections now); the promise under test is that a store
+	// carrying a section id from the future still loads and verifies.
+	future := []byte("future section payload")
+	b := encodeSections(storeKindDataset, []section{
 		{secSpec, specJSON},
 		{secStats, statsJSON},
 		{secCSR, csr.buf},
 		{secFeatures, feats.buf},
 		{secLabels, labels.buf},
 		{secSplits, splits.buf},
-		{7, manifest},
+		{63, future},
 	})
 	path := filepath.Join(t.TempDir(), "future.argograph")
 	if err := os.WriteFile(path, b, 0o644); err != nil {

@@ -23,10 +23,16 @@ type SamplerKind string
 // ModelKind selects the GNN architecture being simulated.
 type ModelKind string
 
-// The sampler/model combinations the paper evaluates.
+// The sampler/model combinations the paper evaluates, plus the two
+// samplers its survey cites: GraphSAINT random walks ([18]) and
+// Cluster-GCN ([17]), modelled after this repo's real implementations
+// in internal/sampler so the strategy benchmark can sweep all four
+// workload shapes.
 const (
 	Neighbor SamplerKind = "neighbor"
 	Shadow   SamplerKind = "shadow"
+	Saint    SamplerKind = "saint"
+	ClusterK SamplerKind = "cluster"
 
 	SAGE ModelKind = "sage"
 	GCN  ModelKind = "gcn"
@@ -102,6 +108,11 @@ var DGL = Profile{
 	SamplerSerial: map[SamplerKind]float64{
 		Neighbor: 0.08,
 		Shadow:   0.70,
+		// Random walks parallelise per root but the induction scan is
+		// mostly serial; cluster lookup is cheap and the induction
+		// dominates.
+		Saint:    0.45,
+		ClusterK: 0.35,
 	},
 	TrainSatCores:    6,
 	TrainMachCores:   24,
@@ -127,6 +138,8 @@ var PyG = Profile{
 	SamplerSerial: map[SamplerKind]float64{
 		Neighbor: 0.12,
 		Shadow:   0.85,
+		Saint:    0.65,
+		ClusterK: 0.55,
 	},
 	TrainSatCores:    10,
 	TrainMachCores:   16,

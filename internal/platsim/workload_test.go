@@ -186,3 +186,32 @@ func TestScenarioString(t *testing.T) {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
 }
+
+// The survey samplers (SAINT, Cluster-GCN) produce positive, finite
+// workloads over the whole configuration range, and the subgraph
+// samplers still exhibit the Fig. 6 inflation direction: total sampled
+// work across processes does not shrink as processes are added.
+func TestSurveySamplerWorkloads(t *testing.T) {
+	for _, kind := range []SamplerKind{Saint, ClusterK} {
+		sc := scenarioFor(t, DGL, platform.SapphireRapids2S, kind, SAGE, "ogbn-products")
+		prevTotal := 0.0
+		for n := 1; n <= 8; n *= 2 {
+			w := sc.PerProcessWork(n)
+			if !(w.SampleCore > 0) || !(w.InputNodes > 0) || !(w.DenseCore > 0) || !(w.AggCore > 0) {
+				t.Fatalf("%s n=%d: degenerate work %+v", kind, n, w)
+			}
+			total := w.SampledEdges * float64(n)
+			if total < prevTotal*0.99 {
+				t.Fatalf("%s: total sampled work shrank from %v to %v at n=%d", kind, prevTotal, total, n)
+			}
+			prevTotal = total
+		}
+		m, err := Simulate(sc, SimConfig{Procs: 2, SampleCores: 2, TrainCores: 4, MaxIters: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(m.EpochSeconds > 0) {
+			t.Fatalf("%s: epoch time %v", kind, m.EpochSeconds)
+		}
+	}
+}

@@ -29,9 +29,10 @@ type Cluster struct {
 }
 
 // NewCluster partitions g into numClusters parts (greedy BFS partitioner,
-// the repo's METIS stand-in) and returns the sampler.
-func NewCluster(g *graph.CSR, numClusters, layers int, seed int64) *Cluster {
-	part := graph.GreedyPartition(g, numClusters, rand.New(rand.NewSource(seed)))
+// the repo's METIS stand-in — deterministic, so a given graph always
+// yields the same clusters) and returns the sampler.
+func NewCluster(g *graph.CSR, numClusters, layers int) *Cluster {
+	part := graph.GreedyPartition(g, numClusters)
 	c := &Cluster{Graph: g, Part: part, Layers: layers, MaxClusterNodes: 2048}
 	c.members = make([][]graph.NodeID, numClusters)
 	for v, p := range part.Assign {

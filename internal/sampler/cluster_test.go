@@ -9,7 +9,7 @@ import (
 
 func TestClusterSamplerStructure(t *testing.T) {
 	g, _ := sampleGraph(t, 40)
-	cs := NewCluster(g, 8, 3, 1)
+	cs := NewCluster(g, 8, 3)
 	rng := rand.New(rand.NewSource(2))
 	targets := someTargets(g, 12, rng)
 	mb := cs.Sample(rng, targets)
@@ -33,7 +33,7 @@ func TestClusterSamplerStructure(t *testing.T) {
 // Every non-target node in the batch must belong to a target's cluster.
 func TestClusterSamplerPullsWholeClusters(t *testing.T) {
 	g, _ := sampleGraph(t, 41)
-	cs := NewCluster(g, 6, 2, 3)
+	cs := NewCluster(g, 6, 2)
 	cs.MaxClusterNodes = 0 // unbounded: exact cluster unions
 	rng := rand.New(rand.NewSource(4))
 	targets := someTargets(g, 5, rng)
@@ -61,7 +61,7 @@ func TestClusterSamplerPullsWholeClusters(t *testing.T) {
 
 func TestClusterSamplerSubsamplesHugeClusters(t *testing.T) {
 	g, _ := sampleGraph(t, 42)
-	cs := NewCluster(g, 2, 2, 5) // two big clusters (~300 nodes each)
+	cs := NewCluster(g, 2, 2) // two big clusters (~300 nodes each)
 	cs.MaxClusterNodes = 50
 	rng := rand.New(rand.NewSource(6))
 	targets := someTargets(g, 4, rng)
@@ -74,7 +74,7 @@ func TestClusterSamplerSubsamplesHugeClusters(t *testing.T) {
 
 func TestClusterInducedEdgesReal(t *testing.T) {
 	g, _ := sampleGraph(t, 43)
-	cs := NewCluster(g, 8, 2, 7)
+	cs := NewCluster(g, 8, 2)
 	rng := rand.New(rand.NewSource(8))
 	mb := cs.Sample(rng, someTargets(g, 8, rng))
 	for i := range mb.Sub.Nodes {
