@@ -296,10 +296,28 @@ type GNNTrainerOptions struct {
 	// features with the others; training losses match the single-store
 	// run on the same configuration to float precision.
 	Shards *graph.ShardSet
+	// Transport selects the exchange transport of a sharded run:
+	// "" or "inproc" (direct calls within this address space) or "tcp"
+	// (batched messages framed over loopback sockets — the seam a
+	// multi-host deployment plugs into). Loss parity holds on both.
+	Transport string
+	// NoOverlap disables prefetching halo features on the sampling
+	// workers (by default the exchange for batch i+1 overlaps batch i's
+	// compute). Performance knob only; losses are bit-identical.
+	NoOverlap bool
 }
 
 // HaloStats is the halo-exchange traffic summary of a sharded run.
 type HaloStats = ddp.HaloStats
+
+// ExchangeStats is the whole-run exchange traffic summary: totals plus
+// the directed per-peer matrix in deterministic (From, To) order,
+// accumulated across auto-tuner re-launches.
+type ExchangeStats = ddp.ExchangeStats
+
+// PeerTraffic is one directed (from, to) edge of the exchange's
+// traffic matrix.
+type PeerTraffic = ddp.PeerTraffic
 
 // GNNTrainer adapts the real multi-process training engine to the
 // TrainStep contract, carrying model weights across configuration
@@ -319,6 +337,8 @@ func NewGNNTrainer(opts GNNTrainerOptions) (*GNNTrainer, error) {
 		Seed:      opts.Seed,
 		Binder:    opts.Binder,
 		Shards:    opts.Shards,
+		Transport: opts.Transport,
+		NoOverlap: opts.NoOverlap,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +360,12 @@ func (t *GNNTrainer) LossHistory() []float64 { return t.inner.LossHistory() }
 // HaloStats reports the accumulated halo-exchange traffic of a sharded
 // run; zero for single-store runs.
 func (t *GNNTrainer) HaloStats() HaloStats { return t.inner.HaloStats() }
+
+// ExchangeStats reports the whole-run exchange traffic of a sharded run
+// (totals + deterministic per-peer matrix, accumulated across tuner
+// re-launches), or nil for single-store runs. Attach it to a Report's
+// Exchange field to persist it with the run.
+func (t *GNNTrainer) ExchangeStats() *ExchangeStats { return t.inner.ExchangeStats() }
 
 // Epochs returns how many epochs have been trained.
 func (t *GNNTrainer) Epochs() int { return t.inner.Epoch() }

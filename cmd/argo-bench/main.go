@@ -11,6 +11,15 @@
 //	argo-bench -exp all
 //	argo-bench -exp none -strategy all -json BENCH_argo.json
 //	argo-bench -exp none -dataset arxiv-sim,reddit-sim
+//	argo-bench -exchange -transport tcp -dataset tiny
+//
+// -exchange switches to the halo-exchange traffic benchmark: each
+// workload is sharded (k=4), trained for two epochs on two replicas
+// over the selected -transport, and the batched exchange's traffic —
+// per-peer rows/bytes/messages, and the message reduction against the
+// per-row baseline — is reported and written as JSON. Traffic counts
+// are deterministic for a fixed seed, so the artifact is byte-stable
+// under -stable.
 //
 // -dataset selects which workloads the strategy benchmark covers: a
 // comma-separated list of registry profiles (argo-data ls) and/or
@@ -33,10 +42,14 @@ import (
 
 	"argo"
 	"argo/internal/datasets"
+	"argo/internal/ddp"
+	"argo/internal/engine"
 	"argo/internal/experiments"
 	"argo/internal/graph"
+	"argo/internal/nn"
 	"argo/internal/platform"
 	"argo/internal/platsim"
+	"argo/internal/sampler"
 	"argo/internal/search"
 )
 
@@ -141,6 +154,10 @@ func main() {
 		"store access for .argograph -dataset paths: auto/on read only the spec section; off fully loads and verifies the store first")
 	stable := flag.Bool("stable", false,
 		"zero wall-clock fields in the JSON so repeated runs are byte-identical (CI regression gating)")
+	exchangeFlag := flag.Bool("exchange", false,
+		"run the halo-exchange traffic benchmark instead of the experiments/strategy benchmarks")
+	transport := flag.String("transport", "inproc",
+		"exchange transport for -exchange: inproc (direct calls) or tcp (loopback sockets)")
 	flag.Parse()
 
 	loadMode, err := datasets.ParseLoadMode(*lazyFlag)
@@ -152,6 +169,17 @@ func main() {
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *exchangeFlag {
+		jp := *jsonPath
+		if jp == "BENCH_argo.json" {
+			jp = "BENCH_exchange.json" // don't clobber the strategy artifact by default
+		}
+		if err := benchExchange(*datasetFlag, *transport, jp, *stable, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -343,5 +371,130 @@ func benchStrategies(which, datasetFlag string, samplers []benchSampler, searche
 		return err
 	}
 	fmt.Fprintf(w, "strategy benchmark (%d datasets) written to %s\n", len(out.Datasets), jsonPath)
+	return nil
+}
+
+// exchangeBench is one row of the -exchange artifact: a sharded
+// 2-replica training run's batched halo-exchange traffic on one
+// workload. Every count is deterministic for a fixed seed.
+type exchangeBench struct {
+	Dataset  string            `json:"dataset"`
+	Shards   int               `json:"shards"`
+	Replicas int               `json:"replicas"`
+	Epochs   int               `json:"epochs"`
+	EdgeCut  int64             `json:"edge_cut_arcs"`
+	Exchange ddp.ExchangeStats `json:"exchange"`
+	// PerRowMessages is what the per-row baseline would have sent: one
+	// message per remote row. Reduction = PerRowMessages / Messages.
+	PerRowMessages int64   `json:"per_row_messages"`
+	Reduction      float64 `json:"message_reduction"`
+	WallSeconds    float64 `json:"wall_seconds"`
+}
+
+// benchExchange shards each workload (k=4), trains two epochs on two
+// replicas over the selected transport, and reports the batched
+// exchange's traffic next to the per-row baseline it replaced.
+func benchExchange(datasetFlag, transport, jsonPath string, stable bool, w *os.File) error {
+	var names []string
+	if datasetFlag == "all" {
+		names = datasets.PaperNames()
+	} else {
+		for _, n := range strings.Split(datasetFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-dataset selected no workloads")
+	}
+	const (
+		seed     = 7
+		shards   = 4
+		replicas = 2
+		epochs   = 2
+	)
+	out := struct {
+		Transport string          `json:"transport"`
+		Exchange  []exchangeBench `json:"exchange"`
+	}{Transport: transport}
+	for _, name := range names {
+		ds, err := datasets.Resolve(name, seed)
+		if err != nil {
+			return err
+		}
+		ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: shards, Seed: seed})
+		if err != nil {
+			return err
+		}
+		skel, err := ss.Skeleton()
+		if err != nil {
+			ss.Close()
+			return err
+		}
+		sources, ex, err := engine.NewShardSourcesOpts(ss, replicas, engine.ShardSourceOptions{Transport: transport})
+		if err != nil {
+			ss.Close()
+			return err
+		}
+		eng, err := engine.New(engine.Config{
+			Dataset:       skel,
+			Sampler:       sampler.NewNeighbor(skel.Graph, []int{10, 5}),
+			Model:         nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Spec.ScaledF0, ds.Spec.ScaledHidden, ds.NumClasses}, Seed: seed},
+			BatchSize:     64,
+			LR:            0.01,
+			NumProcs:      replicas,
+			SampleWorkers: 2,
+			TrainWorkers:  1,
+			Seed:          seed,
+			Sources:       sources,
+		})
+		if err != nil {
+			ex.Close()
+			ss.Close()
+			return err
+		}
+		start := time.Now()
+		for ep := 0; ep < epochs; ep++ {
+			if _, err := eng.RunEpoch(ep); err != nil {
+				ex.Close()
+				ss.Close()
+				return fmt.Errorf("%s: epoch %d: %w", name, ep, err)
+			}
+		}
+		row := exchangeBench{
+			Dataset:        name,
+			Shards:         shards,
+			Replicas:       replicas,
+			Epochs:         epochs,
+			EdgeCut:        ss.Manifest.TotalCutArcs(),
+			Exchange:       ex.Summary(),
+			PerRowMessages: ex.TotalStats().RemoteRows,
+			WallSeconds:    time.Since(start).Seconds(),
+		}
+		if row.Exchange.Messages > 0 {
+			row.Reduction = float64(row.PerRowMessages) / float64(row.Exchange.Messages)
+		}
+		if stable {
+			row.WallSeconds = 0
+		}
+		out.Exchange = append(out.Exchange, row)
+		fmt.Fprintf(w, "%-16s %s: %d remote rows, %d bytes in %d messages (per-row baseline %d → %.1f× fewer)\n",
+			name, transport, row.Exchange.RemoteRows, row.Exchange.RemoteBytes,
+			row.Exchange.Messages, row.PerRowMessages, row.Reduction)
+		ex.Close()
+		ss.Close()
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exchange benchmark (%d workloads, %s transport) written to %s\n", len(out.Exchange), transport, jsonPath)
 	return nil
 }

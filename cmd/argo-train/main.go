@@ -14,6 +14,13 @@
 // .argograph store written by argo-data gen, so large graphs are
 // generated once and reloaded instantly on later runs.
 //
+// With -shards the dataset is a shard set (name#k or a .shard0 store);
+// halo traffic then moves through the batched exchange over the
+// -transport of choice (inproc or loopback tcp), overlapped with
+// sampling unless -overlap=false, and the run's traffic totals plus the
+// per-peer matrix are printed, embedded in -report, and included in
+// -loss-json.
+//
 // A report written with -report can warm-start a later run via
 // -warmstart, skipping the cold random probes.
 package main
@@ -113,12 +120,19 @@ func main() {
 		"treat -dataset as a shard set: name#k (in-memory) or the path of a manifest-carrying .shard0 store; "+
 			"each replica maps only its own shards and exchanges halo features")
 	procs := flag.Int("procs", 0, "pin the process count: restrict the design space to exactly N processes (0 = tune freely)")
-	lossPath := flag.String("loss-json", "", "write the per-epoch mean training loss history as JSON to this file")
+	lossPath := flag.String("loss-json", "", "write the per-epoch mean training loss history (plus exchange traffic for sharded runs) as JSON to this file")
+	transport := flag.String("transport", "inproc",
+		"halo-exchange transport for -shards runs: inproc (direct calls) or tcp (batched messages over loopback sockets)")
+	overlap := flag.Bool("overlap", true,
+		"overlap the halo exchange with sampling: prefetch batch i+1's features while batch i computes (losses are identical either way)")
 	flag.Parse()
 
 	mode, err := datasets.ParseLoadMode(*lazyFlag)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
+	}
+	if *transport != "inproc" && *transport != "tcp" {
+		log.Fatalf("argo-train: unknown -transport %q (inproc, tcp)", *transport)
 	}
 	var (
 		ds       *graph.Dataset
@@ -145,13 +159,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("argo-train: %v", err)
 		}
-		var cut int64
-		for _, e := range shardSet.Manifest.Shards {
-			cut += e.CutArcs
-		}
-		fmt.Printf("shard set %s (k=%d, %s partition): %d nodes, %d arcs, %d classes, %d train targets, edge cut %d arcs\n",
+		cut := shardSet.Manifest.TotalCutArcs()
+		fmt.Printf("shard set %s (k=%d, %s partition): %d nodes, %d arcs, %d classes, %d train targets, edge cut %d arcs (%.1f%%)\n",
 			ds.Spec.Name, shardSet.K(), shardSet.Manifest.Partitioner,
-			st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount, cut)
+			st.NumNodes, st.NumArcs, st.NumClasses, st.TrainCount, cut,
+			100*shardSet.Manifest.EdgeCutFraction())
+		fmt.Printf("exchange: %s transport, overlap %v; planner input (cut arcs per replica at n=2): %v\n",
+			*transport, *overlap, shardSet.Manifest.ReplicaCutArcs(2))
 	} else {
 		// The lazy handle yields spec and stats from the store header
 		// before any section is decoded, so huge stores announce
@@ -197,6 +211,8 @@ func main() {
 		LR:        *lr,
 		Seed:      *seed,
 		Shards:    shardSet,
+		Transport: *transport,
+		NoOverlap: !*overlap,
 	})
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
@@ -255,6 +271,10 @@ func main() {
 			log.Fatalf("argo-train: %v", runErr)
 		}
 	}
+	// A sharded run's exchange traffic rides along in the report and in
+	// -loss-json, with peers in deterministic (from, to) order.
+	exchange := trainer.ExchangeStats()
+	report.Exchange = exchange
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
 		if err != nil {
@@ -267,7 +287,10 @@ func main() {
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
 	if *lossPath != "" {
-		raw, err := json.Marshal(trainer.LossHistory())
+		raw, err := json.MarshalIndent(struct {
+			Losses   []float64           `json:"losses"`
+			Exchange *argo.ExchangeStats `json:"exchange,omitempty"`
+		}{trainer.LossHistory(), exchange}, "", "  ")
 		if err != nil {
 			log.Fatalf("argo-train: %v", err)
 		}
@@ -276,15 +299,17 @@ func main() {
 		}
 		fmt.Printf("loss history (%d epochs) written to %s\n", len(trainer.LossHistory()), *lossPath)
 	}
-	if shardSet != nil {
-		hs := trainer.HaloStats()
-		total := hs.LocalRows + hs.RemoteRows
+	if exchange != nil {
+		total := exchange.LocalRows + exchange.RemoteRows
 		pct := 0.0
 		if total > 0 {
-			pct = 100 * float64(hs.RemoteRows) / float64(total)
+			pct = 100 * float64(exchange.RemoteRows) / float64(total)
 		}
-		fmt.Printf("halo exchange: %d local rows, %d remote rows (%.1f%%), %d bytes moved\n",
-			hs.LocalRows, hs.RemoteRows, pct, hs.RemoteBytes)
+		fmt.Printf("halo exchange (%s): %d local rows, %d remote rows (%.1f%%), %d bytes in %d batched messages\n",
+			exchange.Transport, exchange.LocalRows, exchange.RemoteRows, pct, exchange.RemoteBytes, exchange.Messages)
+		for _, p := range exchange.Peers {
+			fmt.Printf("  replica %d → %d: %d rows, %d bytes, %d messages\n", p.From, p.To, p.Rows, p.Bytes, p.Messages)
+		}
 	}
 	acc, err := trainer.Evaluate()
 	if err != nil {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"testing"
 
+	"argo/internal/ddp"
 	"argo/internal/graph"
 	"argo/internal/nn"
 	"argo/internal/sampler"
@@ -108,5 +110,149 @@ func TestShardedTrainerMatchesAcrossRelaunches(t *testing.T) {
 	}
 	if accA != accB {
 		t.Fatalf("validation accuracy diverged: %v vs %v", accA, accB)
+	}
+}
+
+// newShardedTrainer builds a fresh sharded trainer over its own shard
+// set for the relaunch-accounting tests.
+func newShardedTrainer(t *testing.T, ds *graph.Dataset, transport string) *Trainer {
+	t.Helper()
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(TrainerOptions{
+		Dataset: skel, Sampler: sampler.NewNeighbor(skel.Graph, []int{4, 3}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{8, 6, 3}, Seed: 5},
+		BatchSize: 24, LR: 0.01, Seed: 3, Shards: ss, Transport: transport,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// relaunchSequence drives a trainer through process-count changes
+// (1→2→1), capturing the exchange summary after every phase.
+func relaunchSequence(t *testing.T, tr *Trainer) []*ddp.ExchangeStats {
+	t.Helper()
+	ctx := context.Background()
+	var snaps []*ddp.ExchangeStats
+	for _, cfg := range []search.Config{
+		{Procs: 1, SampleCores: 1, TrainCores: 1},
+		{Procs: 2, SampleCores: 1, TrainCores: 1},
+		{Procs: 1, SampleCores: 1, TrainCores: 2},
+	} {
+		if _, err := tr.Step(ctx, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, tr.ExchangeStats())
+	}
+	return snaps
+}
+
+// The regression gate for satellite "traffic accounting survives a
+// mid-run process-count change": totals and the per-peer matrix must
+// accumulate monotonically across the 1→2→1 relaunches (the retired
+// n=2 exchange's peer rows survive into the n=1 phase), two identical
+// runs must pin byte-identical serialized stats, and the peer matrix
+// must conserve every routed row.
+func TestExchangeAccountingSurvivesRelaunches(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	snaps := relaunchSequence(t, newShardedTrainer(t, ds, ""))
+
+	// Phase 2 (n=2) generated cross-replica traffic; phase 3 (n=1) must
+	// retain it even though the live exchange has a single replica and
+	// no peers at all.
+	after2, after3 := snaps[1], snaps[2]
+	if after2.RemoteRows == 0 || after2.Messages == 0 {
+		t.Fatalf("n=2 phase recorded no remote traffic: %+v", after2)
+	}
+	if len(after2.Peers) == 0 {
+		t.Fatal("n=2 phase recorded no peer edges")
+	}
+	if after3.RemoteRows != after2.RemoteRows || after3.RemoteBytes != after2.RemoteBytes || after3.Messages != after2.Messages {
+		t.Fatalf("relaunch to n=1 lost remote totals: %+v then %+v", after2, after3)
+	}
+	if after3.LocalRows <= after2.LocalRows {
+		t.Fatalf("n=1 phase recorded no local traffic on top of %+v: %+v", after2, after3)
+	}
+	if len(after3.Peers) != len(after2.Peers) {
+		t.Fatalf("relaunch dropped peer edges: %d then %d", len(after2.Peers), len(after3.Peers))
+	}
+	for i := range after3.Peers {
+		if after3.Peers[i] != after2.Peers[i] {
+			t.Fatalf("peer edge %d changed across relaunch: %+v then %+v", i, after2.Peers[i], after3.Peers[i])
+		}
+	}
+	var peerRows int64
+	for _, p := range after3.Peers {
+		peerRows += p.Rows
+		if p.From == p.To {
+			t.Fatalf("self edge in peer matrix: %+v", p)
+		}
+	}
+	if peerRows != after3.RemoteRows+after3.GradRows {
+		t.Fatalf("peer matrix conserves %d rows, totals say %d", peerRows, after3.RemoteRows+after3.GradRows)
+	}
+
+	// Pin the whole-run accounting: an identical second run serialises
+	// byte-identically (deterministic totals AND deterministic peer
+	// order in the JSON the CLI embeds in -loss-json and the report).
+	again := relaunchSequence(t, newShardedTrainer(t, ds, ""))
+	a, err := json.Marshal(after3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(again[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("exchange accounting not reproducible:\n%s\n%s", a, b)
+	}
+}
+
+// The TCP transport must survive relaunches too (old listeners closed,
+// new ones bound) with accounting identical to inproc.
+func TestRelaunchOverTCPMatchesInproc(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	inproc := relaunchSequence(t, newShardedTrainer(t, ds, ""))
+	tcp := relaunchSequence(t, newShardedTrainer(t, ds, "tcp"))
+	a, b := inproc[2], tcp[2]
+	if a.Transport != "inproc" || b.Transport != "tcp" {
+		t.Fatalf("transports %q/%q", a.Transport, b.Transport)
+	}
+	b.Transport = a.Transport
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("tcp accounting diverged from inproc:\n%s\n%s", ja, jb)
+	}
+}
+
+// Single-store trainers report no exchange at all.
+func TestExchangeStatsNilForSingleStore(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	tr, err := NewTrainer(TrainerOptions{
+		Dataset: ds, Sampler: sampler.NewNeighbor(ds.Graph, []int{4, 3}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{8, 6, 3}, Seed: 5},
+		BatchSize: 24, LR: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Step(context.Background(), search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.ExchangeStats(); st != nil {
+		t.Fatalf("single-store trainer reported exchange stats: %+v", st)
 	}
 }

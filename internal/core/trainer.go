@@ -40,6 +40,13 @@ type TrainerOptions struct {
 	// ddp.HaloExchange that is rebuilt whenever the auto-tuner changes
 	// the process count (shard→replica ownership is shard index mod n).
 	Shards *graph.ShardSet
+	// Transport names the ddp transport carrying the exchange of a
+	// sharded run: "" or "inproc" (direct calls), or "tcp" (loopback
+	// sockets, the cross-address-space seam).
+	Transport string
+	// NoOverlap disables the exchange/sampling overlap (performance
+	// knob only; losses are bit-identical either way).
+	NoOverlap bool
 }
 
 // Trainer runs mini-batch GNN training under changing ARGO
@@ -58,10 +65,13 @@ type Trainer struct {
 	losses  []float64
 
 	// exchange is the current halo exchange (sharded runs only);
-	// haloTotal accumulates traffic from exchanges retired by
-	// re-launches, so HaloStats covers the whole run.
+	// haloTotal and peerTotal accumulate traffic from exchanges retired
+	// by re-launches — keyed by directed (from, to) replica pair, so a
+	// process-count change merges rather than resets the matrix — and
+	// HaloStats/ExchangeStats cover the whole run.
 	exchange  *ddp.HaloExchange
 	haloTotal ddp.HaloStats
+	peerTotal map[[2]int]ddp.PeerCounts
 }
 
 // NewTrainer validates opts and returns an idle trainer.
@@ -132,6 +142,67 @@ func (tr *Trainer) HaloStats() ddp.HaloStats {
 	return total
 }
 
+// mergePeerTraffic folds an exchange's directed traffic edges into a
+// (from, to)-keyed accumulator.
+func mergePeerTraffic(dst map[[2]int]ddp.PeerCounts, ex *ddp.HaloExchange) {
+	for _, pt := range ex.PeerTraffic() {
+		key := [2]int{pt.From, pt.To}
+		c := dst[key]
+		c.Add(pt.PeerCounts)
+		dst[key] = c
+	}
+}
+
+// foldExchange folds the current exchange's counters into the running
+// totals (called before the exchange is retired or the trainer closed).
+func (tr *Trainer) foldExchange() {
+	if tr.exchange == nil {
+		return
+	}
+	tr.haloTotal.Add(tr.exchange.TotalStats())
+	if tr.peerTotal == nil {
+		tr.peerTotal = make(map[[2]int]ddp.PeerCounts)
+	}
+	mergePeerTraffic(tr.peerTotal, tr.exchange)
+}
+
+// ExchangeStats returns the whole-run exchange traffic summary of a
+// sharded run — totals plus the directed per-peer matrix in
+// deterministic (From, To) order, accumulated across auto-tuner
+// re-launches — or nil for single-store runs.
+func (tr *Trainer) ExchangeStats() *ddp.ExchangeStats {
+	if tr.opts.Shards == nil {
+		return nil
+	}
+	total := tr.haloTotal
+	merged := make(map[[2]int]ddp.PeerCounts, len(tr.peerTotal))
+	for k, c := range tr.peerTotal {
+		merged[k] = c
+	}
+	transport := tr.opts.Transport
+	if transport == "" {
+		transport = "inproc"
+	}
+	if tr.exchange != nil {
+		total.Add(tr.exchange.TotalStats())
+		mergePeerTraffic(merged, tr.exchange)
+		transport = tr.exchange.TransportName()
+	}
+	out := &ddp.ExchangeStats{
+		Transport:   transport,
+		LocalRows:   total.LocalRows,
+		RemoteRows:  total.RemoteRows,
+		RemoteBytes: total.RemoteBytes,
+		Messages:    total.Messages,
+		GradRows:    total.GradRows,
+	}
+	for key, c := range merged {
+		out.Peers = append(out.Peers, ddp.PeerTraffic{From: key[0], To: key[1], PeerCounts: c})
+	}
+	ddp.SortPeerTraffic(out.Peers)
+	return out
+}
+
 // Evaluate reports validation accuracy under the current weights. Data-
 // source failures (possible on the sharded path) surface as errors, not
 // as a silent zero accuracy.
@@ -167,17 +238,25 @@ func (tr *Trainer) bind(cfg search.Config) error {
 		return fmt.Errorf("core: binding %s: %w", cfg, err)
 	}
 	// Sharded runs rebuild the replica→shard mapping for the new process
-	// count; the retired exchange's traffic is folded into the running
-	// total so the re-launch doesn't lose it.
+	// count; the retired exchange's traffic (totals and per-peer rows)
+	// is folded into the running accumulators so the re-launch doesn't
+	// lose it, and its transport is closed.
 	var sources []engine.DataSource
 	var exchange *ddp.HaloExchange
+	fail := func(err error) error {
+		if exchange != nil {
+			exchange.Close()
+		}
+		if relErr := tr.opts.Binder.Release(cores); relErr != nil {
+			return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
+		}
+		return err
+	}
 	if tr.opts.Shards != nil {
-		sources, exchange, err = engine.NewShardSources(tr.opts.Shards, cfg.Procs)
+		sources, exchange, err = engine.NewShardSourcesOpts(tr.opts.Shards, cfg.Procs,
+			engine.ShardSourceOptions{Transport: tr.opts.Transport})
 		if err != nil {
-			if relErr := tr.opts.Binder.Release(cores); relErr != nil {
-				return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
-			}
-			return err
+			return fail(err)
 		}
 	}
 	eng, err := engine.New(engine.Config{
@@ -191,24 +270,19 @@ func (tr *Trainer) bind(cfg search.Config) error {
 		TrainWorkers:  cfg.TrainCores,
 		Seed:          tr.opts.Seed,
 		Sources:       sources,
+		NoOverlap:     tr.opts.NoOverlap,
 	})
 	if err != nil {
-		relErr := tr.opts.Binder.Release(cores)
-		if relErr != nil {
-			return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
-		}
-		return err
+		return fail(err)
 	}
 	if tr.weights != nil {
 		if err := eng.ImportWeights(tr.weights); err != nil {
-			if relErr := tr.opts.Binder.Release(cores); relErr != nil {
-				return fmt.Errorf("core: %v (and release failed: %v)", err, relErr)
-			}
-			return err
+			return fail(err)
 		}
 	}
 	if tr.exchange != nil {
-		tr.haloTotal.Add(tr.exchange.TotalStats())
+		tr.foldExchange()
+		tr.exchange.Close()
 	}
 	tr.exchange = exchange
 	tr.eng = eng
@@ -217,8 +291,15 @@ func (tr *Trainer) bind(cfg search.Config) error {
 	return nil
 }
 
-// Close releases the trainer's core binding.
+// Close releases the trainer's core binding and shuts the exchange's
+// transport down, folding its traffic into the run totals so
+// ExchangeStats stays complete after Close.
 func (tr *Trainer) Close() error {
+	if tr.exchange != nil {
+		tr.foldExchange()
+		tr.exchange.Close()
+		tr.exchange = nil
+	}
 	if tr.cores == nil {
 		return nil
 	}

@@ -1,9 +1,32 @@
-// Package ddp provides the synchronous gradient synchronisation the ARGO
-// Multi-Process Engine relies on — the role PyTorch DistributedDataParallel
-// plays in the paper. Replicas compute gradients over their share of the
-// global mini-batch; AllReduceMeanWeighted averages the gradients (weighted
-// by share size, so the result equals the gradient of the mean loss over
-// the *global* batch) and writes the consensus back into every replica.
+// Package ddp provides the inter-replica communication layer of the
+// ARGO Multi-Process Engine — the role PyTorch DistributedDataParallel
+// plays in the paper, extended with the sharded-training exchange the
+// HyScale-GNN direction needs.
+//
+// Three facilities live here:
+//
+//   - Gradient synchronisation. Replicas compute gradients over their
+//     share of the global mini-batch; AllReduceMeanWeighted averages
+//     them (weighted by share size, so the result equals the gradient
+//     of the mean loss over the *global* batch) and writes the
+//     consensus back into every replica.
+//
+//   - The halo exchange. In a sharded run every global node is owned by
+//     exactly one replica; HaloExchange routes feature-row and label
+//     lookups to owners in *batched* messages — at most one message per
+//     (peer, call), planned with the shard manifest's cut-arc counts —
+//     and counts the traffic per directed replica pair. The reverse
+//     path (ScatterGradients/CollectGradients) routes halo-row gradient
+//     contributions back to owners, the building block for
+//     partition-local sampling.
+//
+//   - The transport seam. Transport carries the batched messages:
+//     InprocTransport is a direct function call for replicas sharing an
+//     address space; TCPTransport frames the identical messages over
+//     loopback sockets, proving the protocol works across address
+//     spaces. Both are selected by name through NewTransport, and both
+//     carry training bit-exactly (the engine's parity tests pin batched
+//     == per-row losses).
 package ddp
 
 import (

@@ -2,41 +2,62 @@ package ddp
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"argo/internal/graph"
 	"argo/internal/tensor"
 )
 
-// HaloExchange routes feature-row and label requests between training
-// replicas in a sharded run: every global node is owned by exactly one
-// replica, and a replica gathering a mini-batch pulls foreign rows
-// through the exchange instead of from a global feature matrix. In this
-// single-machine reproduction the "network" is a function call into the
-// owning replica's shard-resident store; the per-replica traffic
-// accounting is the quantity a real multi-node transport would move, so
-// the exchange doubles as the communication model for the HyScale-GNN
-// direction.
+// HaloExchange routes feature-row, label, and halo-gradient traffic
+// between training replicas in a sharded run: every global node is
+// owned by exactly one replica, and a replica gathering a mini-batch
+// pulls foreign rows through the exchange instead of from a global
+// feature matrix. All traffic is *batched*: a gather sends at most one
+// message per (peer, call) — grouped by owner, carried by the pluggable
+// Transport — instead of one lookup per row, which is what keeps the
+// protocol viable once shards live on different hosts. Row order in the
+// results follows the requested ids exactly, so the batched gather is
+// bit-identical to gathering from the global feature matrix (and to the
+// per-row exchange it replaced).
+//
+// The reverse path (ScatterGradients / CollectGradients) routes
+// halo-row gradient contributions back to their owning replicas with
+// the same per-peer batching — the building block a partition-local
+// sampler needs to train without ever assembling the global topology.
 //
 // The exchange is safe for concurrent use by all replicas (the engine
-// runs one goroutine per replica per iteration); the serve functions it
-// is built over must be read-only, which shard-materialised matrices
-// are.
+// overlaps each replica's halo fetches with its compute); the serve
+// functions it is built over must be read-only, which shard-materialised
+// matrices are.
 type HaloExchange struct {
 	owner      func(graph.NodeID) (int, error)
 	serveFeat  []func(graph.NodeID) ([]float32, error)
 	serveLabel []func(graph.NodeID) (int32, error)
 	featDim    int
+	tr         Transport
+	plan       *ExchangePlan
 
 	mu    sync.Mutex
 	stats []HaloStats
+	peers [][]PeerCounts // [from][to] remote traffic matrix
+
+	gmu sync.Mutex
+	// grads[owner][from] holds the partial sums contributed by replica
+	// `from` to nodes owned by `owner`. Keeping sources separate and
+	// reducing them in ascending replica order at collect time makes
+	// the accumulated floats independent of message arrival order —
+	// the same bit-reproducibility the forward path gets for free.
+	grads [][]map[graph.NodeID][]float32
 }
 
 // HaloStats counts one replica's exchange traffic.
 type HaloStats struct {
-	LocalRows   int64 // feature rows served from the replica's own shards
-	RemoteRows  int64 // feature rows fetched from other replicas
-	RemoteBytes int64 // bytes those remote rows (and labels) represent
+	LocalRows   int64 // feature rows + labels served from the replica's own shards
+	RemoteRows  int64 // feature rows + labels fetched from other replicas
+	RemoteBytes int64 // bytes remote rows, labels, and gradients represent
+	Messages    int64 // batched request messages sent (the per-peer count)
+	GradRows    int64 // halo-gradient rows routed to other replicas
 }
 
 // Add accumulates other into s.
@@ -44,16 +65,128 @@ func (s *HaloStats) Add(other HaloStats) {
 	s.LocalRows += other.LocalRows
 	s.RemoteRows += other.RemoteRows
 	s.RemoteBytes += other.RemoteBytes
+	s.Messages += other.Messages
+	s.GradRows += other.GradRows
 }
 
-// NewHaloExchange builds an exchange over numReplicas replicas. owner
-// maps a global node to its owning replica; serveFeat[r]/serveLabel[r]
-// return the feature row / label of a node replica r owns.
+// PeerCounts is the traffic volume of one directed (from, to) replica
+// pair.
+type PeerCounts struct {
+	Rows     int64 `json:"rows"`     // feature/label/gradient rows moved
+	Bytes    int64 `json:"bytes"`    // bytes those rows represent
+	Messages int64 `json:"messages"` // batched messages sent
+}
+
+// Add accumulates other into c.
+func (c *PeerCounts) Add(other PeerCounts) {
+	c.Rows += other.Rows
+	c.Bytes += other.Bytes
+	c.Messages += other.Messages
+}
+
+// PeerTraffic is one edge of the exchange's directed traffic matrix.
+type PeerTraffic struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	PeerCounts
+}
+
+// SortPeerTraffic orders traffic rows deterministically: ascending
+// From, then ascending To — the serialization order -loss-json and the
+// Report promise.
+func SortPeerTraffic(rows []PeerTraffic) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].From != rows[j].From {
+			return rows[i].From < rows[j].From
+		}
+		return rows[i].To < rows[j].To
+	})
+}
+
+// ExchangeStats is a run-level traffic summary: the totals plus the
+// directed per-peer matrix, with peers in deterministic (From, To)
+// order. It is what core.Trainer accumulates across auto-tuner
+// re-launches and what argo.Report serialises.
+type ExchangeStats struct {
+	Transport   string        `json:"transport,omitempty"`
+	LocalRows   int64         `json:"local_rows"`
+	RemoteRows  int64         `json:"remote_rows"`
+	RemoteBytes int64         `json:"remote_bytes"`
+	Messages    int64         `json:"messages"`
+	GradRows    int64         `json:"grad_rows,omitempty"`
+	Peers       []PeerTraffic `json:"peers,omitempty"`
+}
+
+// ExchangePlan sizes the exchange's per-peer batch buffers from the
+// shard manifest's cut-arc counts — the planner input a multi-node
+// deployment would use to provision links before moving any feature
+// bytes.
+type ExchangePlan struct {
+	// CutArcs[r] is the total cut-arc count of the shards replica r
+	// owns (graph.ShardManifest.ReplicaCutArcs).
+	CutArcs []int64
+	// Total is the shard set's whole edge cut.
+	Total int64
+}
+
+// PlanFromCuts builds a plan from per-replica cut-arc counts.
+func PlanFromCuts(cuts []int64) *ExchangePlan {
+	p := &ExchangePlan{CutArcs: cuts}
+	for _, c := range cuts {
+		p.Total += c
+	}
+	return p
+}
+
+// batchHint estimates how many foreign ids one gather by replica r
+// sends to one peer, for buffer preallocation. Cut arcs bound the
+// distinct halo nodes a replica can ever reference; a mini-batch
+// touches a fraction of them, so a conservative per-call hint divides
+// by the peer count (capped to keep pathological manifests from
+// over-allocating).
+func (p *ExchangePlan) batchHint(r, numReplicas int) int {
+	if p == nil || r < 0 || r >= len(p.CutArcs) || numReplicas < 2 {
+		return 0
+	}
+	h := int(p.CutArcs[r]) / (numReplicas - 1)
+	const maxHint = 1 << 16
+	if h > maxHint {
+		h = maxHint
+	}
+	return h
+}
+
+// ExchangeOptions configures NewHaloExchangeOpts.
+type ExchangeOptions struct {
+	// Transport carries the batched messages. Nil defaults to the
+	// in-process transport.
+	Transport Transport
+	// Plan supplies per-replica cut-arc counts for buffer sizing; nil
+	// means no preallocation hints.
+	Plan *ExchangePlan
+}
+
+// NewHaloExchange builds an exchange over numReplicas replicas with the
+// in-process transport. owner maps a global node to its owning replica;
+// serveFeat[r]/serveLabel[r] return the feature row / label of a node
+// replica r owns.
 func NewHaloExchange(
 	numReplicas, featDim int,
 	owner func(graph.NodeID) (int, error),
 	serveFeat []func(graph.NodeID) ([]float32, error),
 	serveLabel []func(graph.NodeID) (int32, error),
+) (*HaloExchange, error) {
+	return NewHaloExchangeOpts(numReplicas, featDim, owner, serveFeat, serveLabel, ExchangeOptions{})
+}
+
+// NewHaloExchangeOpts is NewHaloExchange with an explicit transport and
+// plan. The exchange owns the transport: Close closes it.
+func NewHaloExchangeOpts(
+	numReplicas, featDim int,
+	owner func(graph.NodeID) (int, error),
+	serveFeat []func(graph.NodeID) ([]float32, error),
+	serveLabel []func(graph.NodeID) (int32, error),
+	opt ExchangeOptions,
 ) (*HaloExchange, error) {
 	if numReplicas < 1 {
 		return nil, fmt.Errorf("ddp: %d replicas", numReplicas)
@@ -64,13 +197,101 @@ func NewHaloExchange(
 	if owner == nil || len(serveFeat) != numReplicas || len(serveLabel) != numReplicas {
 		return nil, fmt.Errorf("ddp: exchange needs an owner map and %d feature/label servers", numReplicas)
 	}
-	return &HaloExchange{
+	tr := opt.Transport
+	if tr == nil {
+		tr = NewInprocTransport()
+	}
+	h := &HaloExchange{
 		owner:      owner,
 		serveFeat:  serveFeat,
 		serveLabel: serveLabel,
 		featDim:    featDim,
+		tr:         tr,
+		plan:       opt.Plan,
 		stats:      make([]HaloStats, numReplicas),
-	}, nil
+		grads:      make([][]map[graph.NodeID][]float32, numReplicas),
+	}
+	for o := range h.grads {
+		h.grads[o] = make([]map[graph.NodeID][]float32, numReplicas)
+	}
+	h.peers = make([][]PeerCounts, numReplicas)
+	for r := range h.peers {
+		h.peers[r] = make([]PeerCounts, numReplicas)
+	}
+	handlers := make([]Handler, numReplicas)
+	for r := 0; r < numReplicas; r++ {
+		r := r
+		handlers[r] = func(req *Request) (*Response, error) { return h.handle(r, req) }
+	}
+	if err := tr.Bind(handlers); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// handle answers one batched request on behalf of owning replica o.
+func (h *HaloExchange) handle(o int, req *Request) (*Response, error) {
+	switch req.Kind {
+	case MsgFeatures:
+		resp := &Response{Feat: make([]float32, len(req.IDs)*h.featDim)}
+		for i, v := range req.IDs {
+			row, err := h.serveFeat[o](v)
+			if err != nil {
+				return nil, fmt.Errorf("ddp: replica %d serving node %d: %w", o, v, err)
+			}
+			if len(row) != h.featDim {
+				return nil, fmt.Errorf("ddp: node %d served %d-wide row, want %d", v, len(row), h.featDim)
+			}
+			copy(resp.Feat[i*h.featDim:], row)
+		}
+		return resp, nil
+	case MsgLabels:
+		resp := &Response{Labels: make([]int32, len(req.IDs))}
+		for i, v := range req.IDs {
+			lab, err := h.serveLabel[o](v)
+			if err != nil {
+				return nil, fmt.Errorf("ddp: replica %d serving label %d: %w", o, v, err)
+			}
+			resp.Labels[i] = lab
+		}
+		return resp, nil
+	case MsgGradients:
+		if len(req.Grad) != len(req.IDs)*h.featDim {
+			return nil, fmt.Errorf("ddp: gradient message carries %d values for %d ids (dim %d)",
+				len(req.Grad), len(req.IDs), h.featDim)
+		}
+		if req.From < 0 || req.From >= len(h.stats) {
+			return nil, fmt.Errorf("ddp: gradient message from replica %d of %d", req.From, len(h.stats))
+		}
+		h.accumGradients(o, req.From, req.IDs, req.Grad)
+		return &Response{}, nil
+	}
+	return nil, fmt.Errorf("ddp: unknown message kind %d", req.Kind)
+}
+
+// accumGradients adds row-major gradient values for ids into owner o's
+// partial-sum buffer for source replica `from`. Within one (o, from)
+// pair accumulation follows the source's own call order; sources only
+// mix at collect time, in replica order.
+func (h *HaloExchange) accumGradients(o, from int, ids []graph.NodeID, grad []float32) {
+	h.gmu.Lock()
+	defer h.gmu.Unlock()
+	buf := h.grads[o][from]
+	if buf == nil {
+		buf = make(map[graph.NodeID][]float32)
+		h.grads[o][from] = buf
+	}
+	for i, v := range ids {
+		row := buf[v]
+		if row == nil {
+			row = make([]float32, h.featDim)
+			buf[v] = row
+		}
+		src := grad[i*h.featDim : (i+1)*h.featDim]
+		for j := range row {
+			row[j] += src[j]
+		}
+	}
 }
 
 // Replicas returns the number of participating replicas.
@@ -79,78 +300,261 @@ func (h *HaloExchange) Replicas() int { return len(h.stats) }
 // FeatDim returns the feature width the exchange serves.
 func (h *HaloExchange) FeatDim() int { return h.featDim }
 
+// TransportName reports which transport carries the exchange.
+func (h *HaloExchange) TransportName() string { return h.tr.Name() }
+
+// Plan returns the exchange's planner input (nil when built without
+// one).
+func (h *HaloExchange) Plan() *ExchangePlan { return h.plan }
+
+// Close releases the transport. The exchange must not be used after
+// Close.
+func (h *HaloExchange) Close() error { return h.tr.Close() }
+
+// peerBatch collects the ids one call sends to one peer, plus their
+// positions in the caller's id list so responses scatter back in order.
+type peerBatch struct {
+	ids []graph.NodeID
+	pos []int
+}
+
+// routeForeign partitions ids by owner: local ids are handed to the
+// local callback in order; foreign ids are appended to per-peer batches
+// (allocated with the plan's size hint on first use).
+func (h *HaloExchange) routeForeign(r int, ids []graph.NodeID, local func(i int, v graph.NodeID) error) ([]peerBatch, error) {
+	batches := make([]peerBatch, len(h.stats))
+	for i, v := range ids {
+		o, err := h.owner(v)
+		if err != nil {
+			return nil, err
+		}
+		if o < 0 || o >= len(h.stats) {
+			return nil, fmt.Errorf("ddp: node %d owned by replica %d of %d", v, o, len(h.stats))
+		}
+		if o == r {
+			if err := local(i, v); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b := &batches[o]
+		if b.ids == nil {
+			hint := h.plan.batchHint(r, len(h.stats))
+			b.ids = make([]graph.NodeID, 0, hint)
+			b.pos = make([]int, 0, hint)
+		}
+		b.ids = append(b.ids, v)
+		b.pos = append(b.pos, i)
+	}
+	return batches, nil
+}
+
 // GatherFeatures assembles the feature matrix for ids on behalf of
-// replica r: rows owned by r are copied locally, foreign rows travel
-// through the exchange and are counted as remote traffic. Row order
-// follows ids exactly, so the result is bit-identical to gathering from
-// the global feature matrix.
+// replica r: rows owned by r are copied locally, foreign rows travel in
+// one batched message per owning peer. Row order follows ids exactly,
+// so the result is bit-identical to gathering from the global feature
+// matrix.
 func (h *HaloExchange) GatherFeatures(r int, ids []graph.NodeID) (*tensor.Matrix, error) {
 	if r < 0 || r >= len(h.stats) {
 		return nil, fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
 	}
 	out := tensor.New(len(ids), h.featDim)
 	var st HaloStats
-	for i, v := range ids {
-		o, err := h.owner(v)
+	batches, err := h.routeForeign(r, ids, func(i int, v graph.NodeID) error {
+		row, err := h.serveFeat[r](v)
 		if err != nil {
-			return nil, err
-		}
-		if o < 0 || o >= len(h.serveFeat) {
-			return nil, fmt.Errorf("ddp: node %d owned by replica %d of %d", v, o, len(h.serveFeat))
-		}
-		row, err := h.serveFeat[o](v)
-		if err != nil {
-			return nil, fmt.Errorf("ddp: replica %d fetching node %d from replica %d: %w", r, v, o, err)
+			return fmt.Errorf("ddp: replica %d reading own node %d: %w", r, v, err)
 		}
 		if len(row) != h.featDim {
-			return nil, fmt.Errorf("ddp: node %d served %d-wide row, want %d", v, len(row), h.featDim)
+			return fmt.Errorf("ddp: node %d served %d-wide row, want %d", v, len(row), h.featDim)
 		}
 		copy(out.Row(i), row)
-		if o == r {
-			st.LocalRows++
-		} else {
-			st.RemoteRows++
-			st.RemoteBytes += int64(h.featDim) * 4
-		}
+		st.LocalRows++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	h.mu.Lock()
-	h.stats[r].Add(st)
-	h.mu.Unlock()
+	perPeer := make([]PeerCounts, len(h.stats))
+	for p := range batches {
+		b := &batches[p]
+		if len(b.ids) == 0 {
+			continue
+		}
+		resp, err := h.tr.Call(p, &Request{From: r, Kind: MsgFeatures, IDs: b.ids})
+		if err != nil {
+			return nil, fmt.Errorf("ddp: replica %d fetching %d rows from replica %d: %w", r, len(b.ids), p, err)
+		}
+		if len(resp.Feat) != len(b.ids)*h.featDim {
+			return nil, fmt.Errorf("ddp: replica %d answered %d values for %d rows", p, len(resp.Feat), len(b.ids))
+		}
+		for i, pos := range b.pos {
+			copy(out.Row(pos), resp.Feat[i*h.featDim:(i+1)*h.featDim])
+		}
+		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*int64(h.featDim)*4
+		st.RemoteRows += rows
+		st.RemoteBytes += bytes
+		st.Messages++
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+	}
+	h.record(r, st, perPeer)
 	return out, nil
 }
 
-// TargetLabels resolves the labels for ids on behalf of replica r,
-// counting foreign lookups as remote traffic (4 bytes each).
+// TargetLabels resolves the labels for ids on behalf of replica r, with
+// foreign labels batched into one message per owning peer (4 bytes per
+// remote label).
 func (h *HaloExchange) TargetLabels(r int, ids []graph.NodeID) ([]int32, error) {
 	if r < 0 || r >= len(h.stats) {
 		return nil, fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
 	}
 	out := make([]int32, len(ids))
 	var st HaloStats
-	for i, v := range ids {
-		o, err := h.owner(v)
+	batches, err := h.routeForeign(r, ids, func(i int, v graph.NodeID) error {
+		lab, err := h.serveLabel[r](v)
 		if err != nil {
-			return nil, err
-		}
-		if o < 0 || o >= len(h.serveLabel) {
-			return nil, fmt.Errorf("ddp: node %d owned by replica %d of %d", v, o, len(h.serveLabel))
-		}
-		lab, err := h.serveLabel[o](v)
-		if err != nil {
-			return nil, fmt.Errorf("ddp: replica %d fetching label %d from replica %d: %w", r, v, o, err)
+			return fmt.Errorf("ddp: replica %d reading own label %d: %w", r, v, err)
 		}
 		out[i] = lab
-		if o != r {
-			st.RemoteRows++
-			st.RemoteBytes += 4
-		} else {
-			st.LocalRows++
+		st.LocalRows++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPeer := make([]PeerCounts, len(h.stats))
+	for p := range batches {
+		b := &batches[p]
+		if len(b.ids) == 0 {
+			continue
+		}
+		resp, err := h.tr.Call(p, &Request{From: r, Kind: MsgLabels, IDs: b.ids})
+		if err != nil {
+			return nil, fmt.Errorf("ddp: replica %d fetching %d labels from replica %d: %w", r, len(b.ids), p, err)
+		}
+		if len(resp.Labels) != len(b.ids) {
+			return nil, fmt.Errorf("ddp: replica %d answered %d labels for %d ids", p, len(resp.Labels), len(b.ids))
+		}
+		for i, pos := range b.pos {
+			out[pos] = resp.Labels[i]
+		}
+		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*4
+		st.RemoteRows += rows
+		st.RemoteBytes += bytes
+		st.Messages++
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+	}
+	h.record(r, st, perPeer)
+	return out, nil
+}
+
+// ScatterGradients routes per-row gradient contributions back to the
+// rows' owners on behalf of replica r — the reverse exchange. grads
+// must be len(ids)×featDim; row i is the contribution to node ids[i].
+// Contributions to r's own nodes accumulate locally; foreign rows
+// travel in one batched message per owning peer and accumulate there.
+// Owners drain their buffers with CollectGradients.
+func (h *HaloExchange) ScatterGradients(r int, ids []graph.NodeID, grads *tensor.Matrix) error {
+	if r < 0 || r >= len(h.stats) {
+		return fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
+	}
+	if grads == nil || grads.Rows != len(ids) || grads.Cols != h.featDim {
+		return fmt.Errorf("ddp: gradient matrix must be %d×%d", len(ids), h.featDim)
+	}
+	var st HaloStats
+	var localIDs []graph.NodeID
+	var localRows []int
+	batches, err := h.routeForeign(r, ids, func(i int, v graph.NodeID) error {
+		localIDs = append(localIDs, v)
+		localRows = append(localRows, i)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(localIDs) > 0 {
+		flat := make([]float32, 0, len(localIDs)*h.featDim)
+		for _, i := range localRows {
+			flat = append(flat, grads.Row(i)...)
+		}
+		h.accumGradients(r, r, localIDs, flat)
+		st.LocalRows += int64(len(localIDs))
+	}
+	perPeer := make([]PeerCounts, len(h.stats))
+	for p := range batches {
+		b := &batches[p]
+		if len(b.ids) == 0 {
+			continue
+		}
+		flat := make([]float32, 0, len(b.ids)*h.featDim)
+		for _, pos := range b.pos {
+			flat = append(flat, grads.Row(pos)...)
+		}
+		if _, err := h.tr.Call(p, &Request{From: r, Kind: MsgGradients, IDs: b.ids, Grad: flat}); err != nil {
+			return fmt.Errorf("ddp: replica %d scattering %d gradient rows to replica %d: %w", r, len(b.ids), p, err)
+		}
+		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*int64(h.featDim)*4
+		st.GradRows += rows
+		st.RemoteBytes += bytes
+		st.Messages++
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+	}
+	h.record(r, st, perPeer)
+	return nil
+}
+
+// CollectGradients drains the halo-gradient contributions accumulated
+// for replica r's owned nodes and clears the buffer. The result is
+// fully deterministic — nodes in ascending order, each row the sum of
+// the per-source partial buffers reduced in ascending replica order —
+// regardless of message arrival timing. It returns nil, nil when
+// nothing accumulated.
+func (h *HaloExchange) CollectGradients(r int) ([]graph.NodeID, *tensor.Matrix, error) {
+	if r < 0 || r >= len(h.stats) {
+		return nil, nil, fmt.Errorf("ddp: replica %d of %d", r, len(h.stats))
+	}
+	h.gmu.Lock()
+	bufs := h.grads[r]
+	h.grads[r] = make([]map[graph.NodeID][]float32, len(h.stats))
+	h.gmu.Unlock()
+	seen := make(map[graph.NodeID]bool)
+	var ids []graph.NodeID
+	for _, buf := range bufs {
+		for v := range buf {
+			if !seen[v] {
+				seen[v] = true
+				ids = append(ids, v)
+			}
 		}
 	}
+	if len(ids) == 0 {
+		return nil, nil, nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := tensor.New(len(ids), h.featDim)
+	for i, v := range ids {
+		row := out.Row(i)
+		for from := range bufs {
+			if partial := bufs[from][v]; partial != nil {
+				for j := range row {
+					row[j] += partial[j]
+				}
+			}
+		}
+	}
+	return ids, out, nil
+}
+
+// record folds one call's counters into the shared stats under the lock.
+func (h *HaloExchange) record(r int, st HaloStats, perPeer []PeerCounts) {
 	h.mu.Lock()
 	h.stats[r].Add(st)
+	for p := range perPeer {
+		if perPeer[p] != (PeerCounts{}) {
+			h.peers[r][p].Add(perPeer[p])
+		}
+	}
 	h.mu.Unlock()
-	return out, nil
 }
 
 // Stats returns a copy of the per-replica traffic counters.
@@ -169,4 +573,36 @@ func (h *HaloExchange) TotalStats() HaloStats {
 		total.Add(s)
 	}
 	return total
+}
+
+// PeerTraffic returns the non-zero edges of the directed traffic
+// matrix in deterministic (From, To) order. The Rows of every edge sum
+// to TotalStats().RemoteRows + GradRows: every remote row travels
+// exactly one edge.
+func (h *HaloExchange) PeerTraffic() []PeerTraffic {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []PeerTraffic
+	for from := range h.peers {
+		for to, c := range h.peers[from] {
+			if c != (PeerCounts{}) {
+				out = append(out, PeerTraffic{From: from, To: to, PeerCounts: c})
+			}
+		}
+	}
+	return out
+}
+
+// Summary assembles the exchange's ExchangeStats snapshot.
+func (h *HaloExchange) Summary() ExchangeStats {
+	total := h.TotalStats()
+	return ExchangeStats{
+		Transport:   h.tr.Name(),
+		LocalRows:   total.LocalRows,
+		RemoteRows:  total.RemoteRows,
+		RemoteBytes: total.RemoteBytes,
+		Messages:    total.Messages,
+		GradRows:    total.GradRows,
+		Peers:       h.PeerTraffic(),
+	}
 }

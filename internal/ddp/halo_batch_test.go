@@ -1,0 +1,331 @@
+package ddp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"argo/internal/graph"
+	"argo/internal/tensor"
+)
+
+// modExchange owns node v on replica v%n; features are [v, 10v, -v],
+// labels v%7.
+func modExchange(t *testing.T, replicas int, tr Transport, plan *ExchangePlan) *HaloExchange {
+	t.Helper()
+	const featDim = 3
+	owner := func(v graph.NodeID) (int, error) {
+		if v < 0 || v >= 10_000 {
+			return 0, fmt.Errorf("node %d out of range", v)
+		}
+		return int(v) % replicas, nil
+	}
+	serveFeat := make([]func(graph.NodeID) ([]float32, error), replicas)
+	serveLabel := make([]func(graph.NodeID) (int32, error), replicas)
+	for r := 0; r < replicas; r++ {
+		r := r
+		serveFeat[r] = func(v graph.NodeID) ([]float32, error) {
+			if int(v)%replicas != r {
+				return nil, fmt.Errorf("replica %d asked for foreign node %d", r, v)
+			}
+			return []float32{float32(v), float32(10 * v), float32(-v)}, nil
+		}
+		serveLabel[r] = func(v graph.NodeID) (int32, error) {
+			if int(v)%replicas != r {
+				return 0, fmt.Errorf("replica %d asked for foreign label %d", r, v)
+			}
+			return v % 7, nil
+		}
+	}
+	ex, err := NewHaloExchangeOpts(replicas, featDim, owner, serveFeat, serveLabel,
+		ExchangeOptions{Transport: tr, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// One gather sends at most one message per foreign peer, regardless of
+// how many rows each peer owns — the batching contract.
+func TestHaloExchangeBatchesPerPeer(t *testing.T) {
+	ex := modExchange(t, 3, nil, PlanFromCuts([]int64{30, 30, 30}))
+	defer ex.Close()
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11} // 4 per owner
+	m, err := ex.GatherFeatures(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ids {
+		if row := m.Row(i); row[0] != float32(v) || row[1] != float32(10*v) || row[2] != float32(-v) {
+			t.Fatalf("row %d = %v", i, row)
+		}
+	}
+	st := ex.Stats()[0]
+	if st.LocalRows != 4 || st.RemoteRows != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Messages != 2 {
+		t.Fatalf("%d messages for a 2-peer gather (want one per foreign peer)", st.Messages)
+	}
+	if _, err := ex.TargetLabels(0, ids); err != nil {
+		t.Fatal(err)
+	}
+	if st = ex.Stats()[0]; st.Messages != 4 {
+		t.Fatalf("%d messages after labels gather, want 4", st.Messages)
+	}
+	peers := ex.PeerTraffic()
+	if len(peers) != 2 {
+		t.Fatalf("peer traffic %v", peers)
+	}
+	for i, want := range []PeerTraffic{
+		{From: 0, To: 1, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, Messages: 2}},
+		{From: 0, To: 2, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, Messages: 2}},
+	} {
+		if peers[i] != want {
+			t.Fatalf("peer %d = %+v, want %+v", i, peers[i], want)
+		}
+	}
+}
+
+// The identical exchange over loopback TCP must produce bit-identical
+// matrices, labels, and traffic counters as the in-process transport.
+func TestHaloExchangeTCPMatchesInproc(t *testing.T) {
+	ids := []graph.NodeID{5, 0, 17, 3, 3, 8, 100, 41}
+	inproc := modExchange(t, 3, nil, nil)
+	defer inproc.Close()
+	tcp := modExchange(t, 3, NewTCPTransport(), nil)
+	defer tcp.Close()
+	for r := 0; r < 3; r++ {
+		a, err := inproc.GatherFeatures(r, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tcp.GatherFeatures(r, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Data {
+			if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+				t.Fatalf("replica %d: matrices differ at %d", r, i)
+			}
+		}
+		la, err := inproc.TargetLabels(r, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := tcp.TargetLabels(r, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("replica %d: labels differ at %d", r, i)
+			}
+		}
+	}
+	if a, b := inproc.TotalStats(), tcp.TotalStats(); a != b {
+		t.Fatalf("traffic diverged between transports: %+v vs %+v", a, b)
+	}
+	ap, bp := inproc.PeerTraffic(), tcp.PeerTraffic()
+	if len(ap) != len(bp) {
+		t.Fatalf("peer rows %d vs %d", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("peer traffic %d: %+v vs %+v", i, ap[i], bp[i])
+		}
+	}
+	if inproc.TransportName() != "inproc" || tcp.TransportName() != "tcp" {
+		t.Fatalf("transport names %q/%q", inproc.TransportName(), tcp.TransportName())
+	}
+}
+
+// The reverse path: gradients scattered from every replica accumulate
+// at the rows' owners, identically on both transports, and collecting
+// drains the buffer deterministically (ascending node order).
+func TestGradientExchange(t *testing.T) {
+	for _, name := range []string{"inproc", "tcp"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewTransport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := modExchange(t, 2, tr, nil)
+			defer ex.Close()
+			// Replica 0 contributes to nodes {0,1,2,3}, replica 1 to
+			// {1,2}: node 1 and 2 accumulate two contributions each.
+			scatter := func(r int, ids []graph.NodeID, scale float32) {
+				g := tensor.New(len(ids), 3)
+				for i, v := range ids {
+					g.Row(i)[0] = scale * float32(v)
+					g.Row(i)[1] = scale
+					g.Row(i)[2] = -scale
+				}
+				if err := ex.ScatterGradients(r, ids, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			scatter(0, []graph.NodeID{0, 1, 2, 3}, 1)
+			scatter(1, []graph.NodeID{1, 2}, 2)
+
+			ids0, g0, err := ex.CollectGradients(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := []graph.NodeID{0, 2}; len(ids0) != 2 || ids0[0] != want[0] || ids0[1] != want[1] {
+				t.Fatalf("replica 0 owns gradients for %v, want %v", ids0, want)
+			}
+			// Node 2: 1·2 from replica 0 plus 2·2 from replica 1.
+			if g0.Row(1)[0] != 2+4 || g0.Row(1)[1] != 1+2 || g0.Row(1)[2] != -1-2 {
+				t.Fatalf("node 2 accumulated %v", g0.Row(1))
+			}
+			if g0.Row(0)[0] != 0 || g0.Row(0)[1] != 1 {
+				t.Fatalf("node 0 accumulated %v", g0.Row(0))
+			}
+			ids1, g1, err := ex.CollectGradients(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids1) != 2 || ids1[0] != 1 || ids1[1] != 3 {
+				t.Fatalf("replica 1 owns gradients for %v", ids1)
+			}
+			if g1.Row(0)[0] != 1+2 || g1.Row(0)[1] != 1+2 {
+				t.Fatalf("node 1 accumulated %v", g1.Row(0))
+			}
+			// Collect drains: a second collect is empty.
+			if ids, g, err := ex.CollectGradients(0); err != nil || ids != nil || g != nil {
+				t.Fatalf("second collect returned %v %v %v", ids, g, err)
+			}
+
+			total := ex.TotalStats()
+			// Replica 0 sent 2 foreign rows (1,3), replica 1 sent 1 (2).
+			if total.GradRows != 3 {
+				t.Fatalf("grad rows %d, want 3", total.GradRows)
+			}
+			if total.RemoteRows != 0 {
+				t.Fatalf("gradient scatter counted as remote feature rows: %+v", total)
+			}
+			var peerRows int64
+			for _, p := range ex.PeerTraffic() {
+				peerRows += p.Rows
+			}
+			if peerRows != total.GradRows {
+				t.Fatalf("peer matrix rows %d, want %d (every routed row travels one edge)", peerRows, total.GradRows)
+			}
+
+			// Shape errors are rejected.
+			if err := ex.ScatterGradients(0, []graph.NodeID{1}, tensor.New(2, 3)); err == nil {
+				t.Fatal("row-count mismatch accepted")
+			}
+			if err := ex.ScatterGradients(0, []graph.NodeID{1}, tensor.New(1, 2)); err == nil {
+				t.Fatal("width mismatch accepted")
+			}
+			if err := ex.ScatterGradients(7, nil, tensor.New(0, 3)); err == nil {
+				t.Fatal("bad replica accepted")
+			}
+		})
+	}
+}
+
+// Accumulated gradients must be bit-reproducible no matter how message
+// arrival interleaves: per-source partial sums are reduced in replica
+// order at collect time, so concurrent scatters from many replicas
+// always sum identically.
+func TestGradientAccumulationOrderIndependent(t *testing.T) {
+	run := func() *tensor.Matrix {
+		ex := modExchange(t, 4, NewTCPTransport(), nil)
+		defer ex.Close()
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				// Every replica contributes irrational-ish floats to the
+				// same owner-0 nodes, so summation order is observable.
+				ids := []graph.NodeID{0, 4, 8}
+				g := tensor.New(len(ids), 3)
+				for i := range ids {
+					for j := 0; j < 3; j++ {
+						g.Row(i)[j] = float32(math.Sqrt(float64(r+2))) * float32(i+j+1) * 0.1
+					}
+				}
+				if err := ex.ScatterGradients(r, ids, g); err != nil {
+					t.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+		_, out, err := ex.CollectGradients(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run()
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range ref.Data {
+			if math.Float32bits(ref.Data[i]) != math.Float32bits(got.Data[i]) {
+				t.Fatalf("trial %d: accumulated gradients not bit-reproducible at %d (%v vs %v)",
+					trial, i, ref.Data[i], got.Data[i])
+			}
+		}
+	}
+}
+
+// Summary assembles totals + deterministically ordered peers.
+func TestExchangeSummary(t *testing.T) {
+	ex := modExchange(t, 3, nil, nil)
+	defer ex.Close()
+	ids := []graph.NodeID{0, 1, 2}
+	for r := 2; r >= 0; r-- { // call order must not affect peer order
+		if _, err := ex.GatherFeatures(r, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := ex.Summary()
+	if s.Transport != "inproc" {
+		t.Fatalf("transport %q", s.Transport)
+	}
+	if s.LocalRows != 3 || s.RemoteRows != 6 || s.Messages != 6 {
+		t.Fatalf("summary %+v", s)
+	}
+	if len(s.Peers) != 6 {
+		t.Fatalf("%d peer edges, want 6", len(s.Peers))
+	}
+	for i := 1; i < len(s.Peers); i++ {
+		a, b := s.Peers[i-1], s.Peers[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("peers not in deterministic order: %+v before %+v", a, b)
+		}
+	}
+}
+
+// The plan's buffer hint must never change results — only allocation.
+func TestExchangePlanIsBehaviourNeutral(t *testing.T) {
+	ids := []graph.NodeID{9, 4, 2, 7, 7, 1}
+	withPlan := modExchange(t, 2, nil, PlanFromCuts([]int64{1 << 40, 0}))
+	defer withPlan.Close()
+	without := modExchange(t, 2, nil, nil)
+	defer without.Close()
+	a, err := withPlan.GatherFeatures(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := without.GatherFeatures(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("plan changed gather results at %d", i)
+		}
+	}
+	if sa, sb := withPlan.TotalStats(), without.TotalStats(); sa != sb {
+		t.Fatalf("plan changed traffic accounting: %+v vs %+v", sa, sb)
+	}
+	if p := PlanFromCuts([]int64{6, 4}); p.Total != 10 {
+		t.Fatalf("plan total %d", p.Total)
+	}
+}

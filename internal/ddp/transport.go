@@ -1,0 +1,282 @@
+package ddp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"argo/internal/graph"
+)
+
+// MsgKind discriminates the batched exchange messages.
+type MsgKind uint8
+
+const (
+	// MsgFeatures requests the feature rows of a batch of owned nodes.
+	MsgFeatures MsgKind = iota + 1
+	// MsgLabels requests the labels of a batch of owned nodes.
+	MsgLabels
+	// MsgGradients pushes halo-row gradient contributions to the owner
+	// (the reverse path; the response is an empty acknowledgement).
+	MsgGradients
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgFeatures:
+		return "features"
+	case MsgLabels:
+		return "labels"
+	case MsgGradients:
+		return "gradients"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Request is one batched exchange message: everything replica From needs
+// from one peer for one gather (or scatter) call. Batching requests per
+// (peer, iteration) — instead of one lookup per row — is what makes the
+// exchange viable across address spaces: the message count per epoch
+// drops from O(remote rows) to O(peers · iterations).
+type Request struct {
+	From int
+	Kind MsgKind
+	IDs  []graph.NodeID
+	// Grad carries len(IDs)·featDim float32 gradient values, row-major,
+	// for MsgGradients; nil otherwise.
+	Grad []float32
+}
+
+// Response answers one Request. Exactly one payload field is set,
+// matching the request's kind; a MsgGradients response is empty.
+type Response struct {
+	// Feat holds len(IDs)·featDim float32 feature values, row-major.
+	Feat []float32
+	// Labels holds len(IDs) labels.
+	Labels []int32
+}
+
+// Handler answers batched requests on behalf of one replica. Handlers
+// must be safe for concurrent use: with overlap enabled, a peer's
+// sampling workers issue fetches while its trainer computes.
+type Handler func(req *Request) (*Response, error)
+
+// Transport moves batched exchange messages between replicas. The
+// in-process implementation is a direct function call; the TCP
+// implementation frames the same messages over loopback sockets,
+// proving the seam works across address spaces. A transport is bound
+// once (by the exchange, which supplies one handler per replica) and
+// then carries concurrent Calls from any replica.
+type Transport interface {
+	// Bind installs the per-replica handlers. Called exactly once,
+	// before any Call.
+	Bind(handlers []Handler) error
+	// Call delivers req to replica `to` and returns its response.
+	Call(to int, req *Request) (*Response, error)
+	// Name identifies the transport ("inproc", "tcp").
+	Name() string
+	// Close releases the transport's resources. Calls after Close fail.
+	Close() error
+}
+
+// NewTransport builds a registered transport by name. The empty name
+// defaults to the in-process transport.
+func NewTransport(name string) (Transport, error) {
+	switch name {
+	case "", "inproc":
+		return NewInprocTransport(), nil
+	case "tcp":
+		return NewTCPTransport(), nil
+	}
+	return nil, fmt.Errorf("ddp: unknown transport %q (inproc, tcp)", name)
+}
+
+// InprocTransport delivers batched messages by direct function call —
+// the transport for replicas sharing one address space. The batching
+// still happens (message counts match the TCP transport exactly), so
+// in-process runs measure the same traffic a multi-node run would put
+// on the wire.
+type InprocTransport struct {
+	handlers []Handler
+	closed   bool
+}
+
+// NewInprocTransport returns an unbound in-process transport.
+func NewInprocTransport() *InprocTransport { return &InprocTransport{} }
+
+// Bind implements Transport.
+func (t *InprocTransport) Bind(handlers []Handler) error {
+	if t.handlers != nil {
+		return fmt.Errorf("ddp: inproc transport already bound")
+	}
+	if len(handlers) == 0 {
+		return fmt.Errorf("ddp: inproc transport bound with no handlers")
+	}
+	t.handlers = handlers
+	return nil
+}
+
+// Call implements Transport.
+func (t *InprocTransport) Call(to int, req *Request) (*Response, error) {
+	if t.closed {
+		return nil, fmt.Errorf("ddp: inproc transport is closed")
+	}
+	if to < 0 || to >= len(t.handlers) {
+		return nil, fmt.Errorf("ddp: call to replica %d of %d", to, len(t.handlers))
+	}
+	return t.handlers[to](req)
+}
+
+// Name implements Transport.
+func (t *InprocTransport) Name() string { return "inproc" }
+
+// Close implements Transport.
+func (t *InprocTransport) Close() error {
+	t.closed = true
+	return nil
+}
+
+// Wire format (shared by every cross-address-space transport): a frame
+// is a little-endian u32 payload length followed by the payload. The
+// request payload is
+//
+//	u8 kind | u32 from | u32 len(ids) | ids as i32 | u32 len(grad) | grad as f32
+//
+// and the response payload is
+//
+//	u8 status (0 ok, 1 error) |
+//	  ok:    u32 len(feat) | feat as f32 | u32 len(labels) | labels as i32
+//	  error: utf-8 message (the rest of the frame)
+//
+// maxFrame bounds a frame so a corrupt length prefix cannot drive an
+// allocation by itself.
+const maxFrame = 1 << 30
+
+// encodeRequest serialises req into a frame payload (without the length
+// prefix).
+func encodeRequest(req *Request) []byte {
+	b := make([]byte, 0, 9+4*len(req.IDs)+4+4*len(req.Grad))
+	b = append(b, byte(req.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(req.From))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.IDs)))
+	for _, v := range req.IDs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.Grad)))
+	for _, g := range req.Grad {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(g))
+	}
+	return b
+}
+
+// decodeRequest parses a frame payload produced by encodeRequest.
+func decodeRequest(b []byte) (*Request, error) {
+	if len(b) < 9 {
+		return nil, fmt.Errorf("ddp: request frame of %d bytes", len(b))
+	}
+	req := &Request{Kind: MsgKind(b[0]), From: int(binary.LittleEndian.Uint32(b[1:5]))}
+	if req.Kind != MsgFeatures && req.Kind != MsgLabels && req.Kind != MsgGradients {
+		return nil, fmt.Errorf("ddp: unknown message kind %d", b[0])
+	}
+	n := int(binary.LittleEndian.Uint32(b[5:9]))
+	off := 9
+	if n < 0 || n > (len(b)-off)/4 {
+		return nil, fmt.Errorf("ddp: request claims %d ids beyond its frame", n)
+	}
+	if n > 0 {
+		req.IDs = make([]graph.NodeID, n)
+		for i := range req.IDs {
+			req.IDs[i] = graph.NodeID(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+		}
+	}
+	if len(b)-off < 4 {
+		return nil, fmt.Errorf("ddp: request frame truncated before gradient payload")
+	}
+	g := int(binary.LittleEndian.Uint32(b[off : off+4]))
+	off += 4
+	if g < 0 || g > (len(b)-off)/4 {
+		return nil, fmt.Errorf("ddp: request claims %d gradient values beyond its frame", g)
+	}
+	if g > 0 {
+		req.Grad = make([]float32, g)
+		for i := range req.Grad {
+			req.Grad[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+		}
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("ddp: %d trailing bytes in request frame", len(b)-off)
+	}
+	return req, nil
+}
+
+// encodeResponse serialises resp (or an error) into a frame payload.
+func encodeResponse(resp *Response, herr error) []byte {
+	if herr != nil {
+		msg := herr.Error()
+		b := make([]byte, 0, 1+len(msg))
+		b = append(b, 1)
+		return append(b, msg...)
+	}
+	b := make([]byte, 0, 9+4*len(resp.Feat)+4*len(resp.Labels))
+	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Feat)))
+	for _, f := range resp.Feat {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Labels)))
+	for _, l := range resp.Labels {
+		b = binary.LittleEndian.AppendUint32(b, uint32(l))
+	}
+	return b
+}
+
+// decodeResponse parses a frame payload produced by encodeResponse. A
+// remote handler error comes back as a non-nil error.
+func decodeResponse(b []byte) (*Response, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("ddp: empty response frame")
+	}
+	if b[0] == 1 {
+		return nil, fmt.Errorf("ddp: remote handler: %s", string(b[1:]))
+	}
+	if b[0] != 0 {
+		return nil, fmt.Errorf("ddp: unknown response status %d", b[0])
+	}
+	if len(b) < 5 {
+		return nil, fmt.Errorf("ddp: response frame of %d bytes", len(b))
+	}
+	resp := &Response{}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	off := 5
+	if n < 0 || n > (len(b)-off)/4 {
+		return nil, fmt.Errorf("ddp: response claims %d feature values beyond its frame", n)
+	}
+	if n > 0 {
+		resp.Feat = make([]float32, n)
+		for i := range resp.Feat {
+			resp.Feat[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+		}
+	}
+	if len(b)-off < 4 {
+		return nil, fmt.Errorf("ddp: response frame truncated before labels")
+	}
+	l := int(binary.LittleEndian.Uint32(b[off : off+4]))
+	off += 4
+	if l < 0 || l > (len(b)-off)/4 {
+		return nil, fmt.Errorf("ddp: response claims %d labels beyond its frame", l)
+	}
+	if l > 0 {
+		resp.Labels = make([]int32, l)
+		for i := range resp.Labels {
+			resp.Labels[i] = int32(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+		}
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("ddp: %d trailing bytes in response frame", len(b)-off)
+	}
+	return resp, nil
+}

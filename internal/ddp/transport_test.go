@@ -1,0 +1,243 @@
+package ddp
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+// Wire codec round-trips: every message kind, empty and full payloads,
+// and float bit-patterns that a text encoding would mangle.
+func TestWireCodecRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{From: 0, Kind: MsgFeatures, IDs: []graph.NodeID{1, 2, 3}},
+		{From: 3, Kind: MsgLabels, IDs: []graph.NodeID{0}},
+		{From: 1, Kind: MsgGradients, IDs: []graph.NodeID{7, 9},
+			Grad: []float32{1.5, -0.25, float32(math.Inf(1)), math.Float32frombits(0x7fc00001)}},
+		{From: 2, Kind: MsgFeatures},
+	}
+	for i, req := range reqs {
+		got, err := decodeRequest(encodeRequest(req))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got.From != req.From || got.Kind != req.Kind || !reflect.DeepEqual(got.IDs, req.IDs) {
+			t.Fatalf("request %d round-tripped to %+v", i, got)
+		}
+		if len(got.Grad) != len(req.Grad) {
+			t.Fatalf("request %d gradient length %d, want %d", i, len(got.Grad), len(req.Grad))
+		}
+		for j := range req.Grad {
+			if math.Float32bits(got.Grad[j]) != math.Float32bits(req.Grad[j]) {
+				t.Fatalf("request %d gradient %d not bit-exact", i, j)
+			}
+		}
+	}
+	resps := []*Response{
+		{Feat: []float32{1, 2, 3, 4}},
+		{Labels: []int32{-1, 0, 7}},
+		{},
+	}
+	for i, resp := range resps {
+		got, err := decodeResponse(encodeResponse(resp, nil))
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if len(got.Feat) != len(resp.Feat) || len(got.Labels) != len(resp.Labels) {
+			t.Fatalf("response %d round-tripped to %+v", i, got)
+		}
+		for j := range resp.Feat {
+			if math.Float32bits(got.Feat[j]) != math.Float32bits(resp.Feat[j]) {
+				t.Fatalf("response %d feat %d not bit-exact", i, j)
+			}
+		}
+		for j := range resp.Labels {
+			if got.Labels[j] != resp.Labels[j] {
+				t.Fatalf("response %d label %d differs", i, j)
+			}
+		}
+	}
+	if _, err := decodeResponse(encodeResponse(nil, fmt.Errorf("shard went away"))); err == nil {
+		t.Fatal("remote error response decoded without error")
+	}
+}
+
+// Malformed frames must error, never panic or over-allocate.
+func TestWireCodecRejectsMalformed(t *testing.T) {
+	good := encodeRequest(&Request{From: 0, Kind: MsgFeatures, IDs: []graph.NodeID{1, 2}})
+	bad := [][]byte{
+		nil,
+		{},
+		good[:5],
+		append(append([]byte{}, good...), 0xee), // trailing byte
+		{99, 0, 0, 0, 0, 0, 0, 0, 0},            // unknown kind
+		{byte(MsgFeatures), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}, // id count beyond frame
+	}
+	for i, b := range bad {
+		if _, err := decodeRequest(b); err == nil {
+			t.Fatalf("malformed request %d accepted", i)
+		}
+	}
+	goodResp := encodeResponse(&Response{Feat: []float32{1}}, nil)
+	badResp := [][]byte{
+		nil,
+		{},
+		{2},
+		goodResp[:3],
+		append(append([]byte{}, goodResp...), 0xee),
+		{0, 0xff, 0xff, 0xff, 0x7f}, // feat count beyond frame
+	}
+	for i, b := range badResp {
+		if _, err := decodeResponse(b); err == nil {
+			t.Fatalf("malformed response %d accepted", i)
+		}
+	}
+}
+
+// echoHandlers answer features as [id, id+0.5] and labels as id%5, so
+// transport behaviour is observable independent of the exchange.
+func echoHandlers(n, featDim int) []Handler {
+	handlers := make([]Handler, n)
+	for r := 0; r < n; r++ {
+		handlers[r] = func(req *Request) (*Response, error) {
+			switch req.Kind {
+			case MsgFeatures:
+				resp := &Response{Feat: make([]float32, len(req.IDs)*featDim)}
+				for i, v := range req.IDs {
+					resp.Feat[i*featDim] = float32(v)
+					resp.Feat[i*featDim+1] = float32(v) + 0.5
+				}
+				return resp, nil
+			case MsgLabels:
+				resp := &Response{Labels: make([]int32, len(req.IDs))}
+				for i, v := range req.IDs {
+					resp.Labels[i] = v % 5
+				}
+				return resp, nil
+			}
+			return nil, fmt.Errorf("handler rejects %s", req.Kind)
+		}
+	}
+	return handlers
+}
+
+// Both transports must carry the same messages to the same answers.
+func TestTransportsAgree(t *testing.T) {
+	for _, name := range []string{"inproc", "tcp"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewTransport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			if tr.Name() != name {
+				t.Fatalf("transport named %q", tr.Name())
+			}
+			if err := tr.Bind(echoHandlers(3, 2)); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := tr.Call(2, &Request{From: 0, Kind: MsgFeatures, IDs: []graph.NodeID{4, 9}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []float32{4, 4.5, 9, 9.5}
+			if !reflect.DeepEqual(resp.Feat, want) {
+				t.Fatalf("feat %v, want %v", resp.Feat, want)
+			}
+			labels, err := tr.Call(1, &Request{From: 2, Kind: MsgLabels, IDs: []graph.NodeID{7}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(labels.Labels) != 1 || labels.Labels[0] != 2 {
+				t.Fatalf("labels %v", labels.Labels)
+			}
+			// A handler error must come back as a Call error on both
+			// transports (over TCP it crosses the wire as a status frame).
+			if _, err := tr.Call(0, &Request{From: 1, Kind: MsgGradients}); err == nil {
+				t.Fatal("handler error swallowed")
+			}
+			// The connection must survive an errored request.
+			if _, err := tr.Call(0, &Request{From: 1, Kind: MsgLabels, IDs: []graph.NodeID{1}}); err != nil {
+				t.Fatalf("call after handler error: %v", err)
+			}
+			if _, err := tr.Call(9, &Request{From: 0, Kind: MsgLabels}); err == nil {
+				t.Fatal("out-of-range peer accepted")
+			}
+		})
+	}
+}
+
+// Concurrent calls from many goroutines must interleave frame-atomically.
+func TestTCPTransportConcurrentCalls(t *testing.T) {
+	tr := NewTCPTransport()
+	defer tr.Close()
+	if err := tr.Bind(echoHandlers(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := graph.NodeID(g*100 + i)
+				resp, err := tr.Call(g%2, &Request{From: 1 - g%2, Kind: MsgFeatures, IDs: []graph.NodeID{id}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Feat[0] != float32(id) || resp.Feat[1] != float32(id)+0.5 {
+					errs <- fmt.Errorf("goroutine %d got %v for id %d", g, resp.Feat, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportLifecycle(t *testing.T) {
+	if _, err := NewTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	tr, err := NewTransport("")
+	if err != nil || tr.Name() != "inproc" {
+		t.Fatalf("default transport: %v (%v)", tr, err)
+	}
+	for _, name := range []string{"inproc", "tcp"} {
+		tr, err := NewTransport(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Call(0, &Request{Kind: MsgLabels}); err == nil {
+			t.Fatalf("%s: call before Bind accepted", name)
+		}
+		if err := tr.Bind(nil); err == nil {
+			t.Fatalf("%s: empty Bind accepted", name)
+		}
+		if err := tr.Bind(echoHandlers(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Bind(echoHandlers(1, 2)); err == nil {
+			t.Fatalf("%s: double Bind accepted", name)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if _, err := tr.Call(0, &Request{Kind: MsgLabels}); err == nil {
+			t.Fatalf("%s: call after Close accepted", name)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("%s: second close: %v", name, err)
+		}
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// source (NewShardSources). Nil means every replica reads the
 	// materialised Dataset directly.
 	Sources []DataSource
+	// NoOverlap disables the exchange/sampling overlap: features and
+	// labels are then gathered inside the training step instead of on
+	// the sampling workers (where the halo fetch for batch i+1 runs
+	// while batch i computes). The knob is performance-only — gathered
+	// values are pure functions of the batch's ids, so losses are
+	// bit-identical either way.
+	NoOverlap bool
 }
 
 // EpochResult summarises one training epoch.
@@ -196,8 +203,31 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 
 	prefetchers := make([]*prefetcher, n)
 	for r := 0; r < n; r++ {
-		prefetchers[r] = newPrefetcher(e.cfg.Sampler, perReplicaJobs[r], e.cfg.SampleWorkers)
+		var fetch fetchFunc
+		if !e.cfg.NoOverlap {
+			src := e.replicas[r].source
+			fetch = func(mb *sampler.MiniBatch) (*tensor.Matrix, []int32, error) {
+				x0, err := src.GatherFeatures(mb.InputNodes())
+				if err != nil {
+					return nil, nil, err
+				}
+				labels, err := src.TargetLabels(mb.Targets)
+				if err != nil {
+					return nil, nil, err
+				}
+				return x0, labels, nil
+			}
+		}
+		prefetchers[r] = newFetchingPrefetcher(e.cfg.Sampler, perReplicaJobs[r], e.cfg.SampleWorkers, fetch)
 	}
+	// Closing on every exit path matters: an epoch aborted by a replica
+	// (or remote-fetch) error must not strand workers parked on the
+	// reorder buffer.
+	defer func() {
+		for r := 0; r < n; r++ {
+			prefetchers[r].Close()
+		}
+	}()
 
 	res := EpochResult{Epoch: epoch, NumIters: numIters}
 	var lossSum float64
@@ -211,7 +241,7 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				e.replicas[r].step(prefetchers[r].Next())
+				e.replicas[r].step(prefetchers[r].NextData())
 			}(r)
 		}
 		wg.Wait()
@@ -243,9 +273,6 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 			e.BatchHook(e.iterCount)
 		}
 	}
-	for r := 0; r < n; r++ {
-		prefetchers[r].Close()
-	}
 	if lossCount > 0 {
 		res.MeanLoss = lossSum / float64(lossCount)
 	}
@@ -254,27 +281,41 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 }
 
 // step computes one replica's gradient contribution for a mini-batch,
-// reading features and labels through the replica's data source. An
-// empty share zeroes the gradients and reports weight 0.
-func (rep *replica) step(mb *sampler.MiniBatch) {
+// reading features and labels from the prefetched batch when the
+// overlap gathered them ahead of time, or through the replica's data
+// source otherwise. An empty share zeroes the gradients and reports
+// weight 0.
+func (rep *replica) step(bd batchData) {
 	rep.model.ZeroGrad()
 	rep.lastCount = 0
 	rep.lastLoss = 0
 	rep.lastStats = sampler.Stats{}
 	rep.lastErr = nil
+	mb := bd.mb
 	if mb == nil || len(mb.Targets) == 0 {
 		return
 	}
-	x0, err := rep.source.GatherFeatures(mb.InputNodes())
-	if err != nil {
-		rep.lastErr = err
+	if bd.err != nil {
+		rep.lastErr = bd.err
 		return
 	}
+	x0, labels := bd.x0, bd.labels
+	if x0 == nil {
+		var err error
+		x0, err = rep.source.GatherFeatures(mb.InputNodes())
+		if err != nil {
+			rep.lastErr = err
+			return
+		}
+	}
 	logits := rep.model.Forward(rep.trainPool, mb, x0)
-	labels, err := rep.source.TargetLabels(mb.Targets)
-	if err != nil {
-		rep.lastErr = err
-		return
+	if labels == nil {
+		var err error
+		labels, err = rep.source.TargetLabels(mb.Targets)
+		if err != nil {
+			rep.lastErr = err
+			return
+		}
 	}
 	loss, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
 	rep.model.Backward(rep.trainPool, dLogits)

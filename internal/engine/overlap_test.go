@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"argo/internal/graph"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+// runShardedEpochs trains `epochs` epochs of the sharded test workload
+// with the given transport and overlap setting, returning the loss
+// history, the final weights, and the exchange.
+func runShardedEpochs(t *testing.T, ds *graph.Dataset, numProcs, epochs int, transport string, noOverlap bool) ([]float64, []*tensor.Matrix, *Engine) {
+	t.Helper()
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources, ex, err := NewShardSourcesOpts(ss, numProcs, ShardSourceOptions{Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ex.Close() })
+	cfg := shardedEngineConfig(skel, numProcs)
+	cfg.Sampler = sampler.NewNeighbor(skel.Graph, []int{5, 4, 3})
+	cfg.Sources = sources
+	cfg.NoOverlap = noOverlap
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for ep := 0; ep < epochs; ep++ {
+		res, err := eng.RunEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, res.MeanLoss)
+	}
+	return losses, eng.ExportWeights(), eng
+}
+
+// The hard invariant of the refactor: batched + overlapped training —
+// in-process and over loopback TCP — bit-matches the per-row baseline,
+// which itself bit-matches single-store training (pinned by
+// TestShardedTrainingMatchesSingleStore). All four variants must agree
+// on every epoch loss and every final weight, bit for bit.
+func TestBatchedOverlappedParityAcrossTransports(t *testing.T) {
+	ds := shardedTestDataset(t)
+	const numProcs, epochs = 2, 3
+
+	base, err := New(shardedEngineConfig(ds, numProcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseLoss []float64
+	for ep := 0; ep < epochs; ep++ {
+		res, err := base.RunEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseLoss = append(baseLoss, res.MeanLoss)
+	}
+	baseW := base.ExportWeights()
+
+	variants := []struct {
+		name      string
+		transport string
+		noOverlap bool
+	}{
+		{"inproc-overlap", "inproc", false},
+		{"inproc-inline", "inproc", true},
+		{"tcp-overlap", "tcp", false},
+		{"tcp-inline", "tcp", true},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			losses, weights, _ := runShardedEpochs(t, ds, numProcs, epochs, v.transport, v.noOverlap)
+			for ep := range losses {
+				if losses[ep] != baseLoss[ep] {
+					t.Fatalf("epoch %d: loss %v, single-store %v (diff %g)",
+						ep, losses[ep], baseLoss[ep], math.Abs(losses[ep]-baseLoss[ep]))
+				}
+			}
+			for i := range weights {
+				if d := weights[i].MaxAbsDiff(baseW[i]); d != 0 {
+					t.Fatalf("weight tensor %d diverged by %v", i, d)
+				}
+			}
+		})
+	}
+}
+
+// Overlap must not change what traffic is counted — only when the
+// gathers happen.
+func TestOverlapTrafficInvariant(t *testing.T) {
+	ds := shardedTestDataset(t)
+	_, _, eager := runShardedEpochs(t, ds, 2, 2, "inproc", false)
+	_, _, inline := runShardedEpochs(t, ds, 2, 2, "inproc", true)
+	exEager := eager.replicas[0].source.(shardSource).ex
+	exInline := inline.replicas[0].source.(shardSource).ex
+	a, b := exEager.TotalStats(), exInline.TotalStats()
+	if a != b {
+		t.Fatalf("overlap changed traffic: %+v vs %+v", a, b)
+	}
+	if a.Messages == 0 {
+		t.Fatal("no batched messages counted")
+	}
+}
+
+// The acceptance gate for batching: a training epoch must send at least
+// 2× fewer exchange messages than the per-row baseline (which sent one
+// message per remote row).
+func TestBatchedExchangeMessageReduction(t *testing.T) {
+	ds := shardedTestDataset(t)
+	_, _, eng := runShardedEpochs(t, ds, 2, 1, "inproc", false)
+	total := eng.replicas[0].source.(shardSource).ex.TotalStats()
+	if total.RemoteRows == 0 || total.Messages == 0 {
+		t.Fatalf("no exchange traffic recorded: %+v", total)
+	}
+	if total.Messages*2 > total.RemoteRows {
+		t.Fatalf("batched exchange sent %d messages for %d remote rows — less than the required 2× reduction over per-row",
+			total.Messages, total.RemoteRows)
+	}
+	t.Logf("per-row baseline %d messages → batched %d (%.1f× reduction)",
+		total.RemoteRows, total.Messages, float64(total.RemoteRows)/float64(total.Messages))
+}
+
+// A shard source's reverse path routes halo gradients to owners through
+// the engine seam (the GradientRouter surface a partition-local sampler
+// will use).
+func TestShardSourceGradientRouter(t *testing.T) {
+	ds := shardedTestDataset(t)
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	sources, ex, err := NewShardSources(ss, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	router, ok := sources[0].(GradientRouter)
+	if !ok {
+		t.Fatal("shard source does not expose the gradient reverse path")
+	}
+	ids := []graph.NodeID{0, 1, 2, 3, 4, 5}
+	grads := tensor.New(len(ids), ss.Manifest.FeatDim)
+	for i := range ids {
+		grads.Row(i)[0] = float32(i + 1)
+	}
+	if err := router.ScatterGradients(ids, grads); err != nil {
+		t.Fatal(err)
+	}
+	var collected int
+	for r := 0; r < 2; r++ {
+		gids, g, err := ex.CollectGradients(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collected += len(gids)
+		for i, v := range gids {
+			o, err := ss.Owner(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o%2 != r {
+				t.Fatalf("replica %d collected gradient for node %d owned by replica %d", r, v, o%2)
+			}
+			var want float32
+			for j, id := range ids {
+				if id == v {
+					want = float32(j + 1)
+				}
+			}
+			if g.Row(i)[0] != want {
+				t.Fatalf("node %d gradient %v, want %v", v, g.Row(i)[0], want)
+			}
+		}
+	}
+	if collected != len(ids) {
+		t.Fatalf("collected %d gradient rows, scattered %d", collected, len(ids))
+	}
+	if _, ok := DataSource(datasetSource{ds}).(GradientRouter); ok {
+		t.Fatal("in-memory source should not claim a reverse path")
+	}
+}
+
+// A fetch error surfacing from the prefetch stage must abort the epoch
+// with the error — and the abort must not strand prefetch goroutines
+// (workers park on the reorder buffer when consumption stops early).
+func TestOverlapFetchErrorPropagates(t *testing.T) {
+	ds := shardedTestDataset(t)
+	cfg := shardedEngineConfig(ds, 1)
+	cfg.SampleWorkers = 4
+	cfg.Dataset = &graph.Dataset{
+		Spec: ds.Spec, Graph: ds.Graph, NumClasses: ds.NumClasses,
+		TrainIdx: ds.TrainIdx, ValIdx: ds.ValIdx, TestIdx: ds.TestIdx,
+	}
+	cfg.Sources = []DataSource{failingSource{}}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	if _, err := eng.RunEpoch(0); err == nil {
+		t.Fatal("fetch error swallowed by the overlap path")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("aborted epoch leaked goroutines: %d before, %d after", before, after)
+	}
+}
+
+type failingSource struct{}
+
+func (failingSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
+	return nil, fmt.Errorf("synthetic fetch failure")
+}
+func (failingSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
+	return nil, fmt.Errorf("synthetic fetch failure")
+}

@@ -6,11 +6,20 @@ import (
 
 	"argo/internal/graph"
 	"argo/internal/sampler"
+	"argo/internal/tensor"
 )
 
 // prefetcher runs a pool of sampling workers ahead of the trainer,
 // reproducing the sampling/propagation overlap that DGL/PyG dataloaders
 // implement with `num_workers` and that ARGO's `s` parameter sizes.
+//
+// With a fetch callback installed, the workers also gather each batch's
+// feature rows and labels right after sampling it — so in a sharded run
+// the halo exchange for batch i+1 is in flight while batch i computes,
+// hiding the communication behind compute. Features and labels are pure
+// functions of the batch's node ids, so prefetching them early is
+// invisible to training: the values (and therefore the losses) are
+// bit-identical to gathering inside the training step.
 //
 // Determinism: each job's sampling RNG is seeded from the job's own seed,
 // never from worker identity, and results are consumed strictly in job
@@ -18,8 +27,10 @@ import (
 // byte-identical no matter how many workers run or how they interleave.
 type prefetcher struct {
 	jobs    chan prefetchJob
-	results []chan *sampler.MiniBatch
+	results []chan batchData
 	window  chan struct{}
+	quit    chan struct{}
+	stop    sync.Once
 	wg      sync.WaitGroup
 	next    int
 }
@@ -30,49 +41,111 @@ type prefetchJob struct {
 	targets []graph.NodeID
 }
 
+// batchData is one prefetched unit of work: the sampled mini-batch plus
+// — when a fetch callback ran — its gathered features and labels (or
+// the error the gather produced, surfaced at consumption time).
+type batchData struct {
+	mb     *sampler.MiniBatch
+	x0     *tensor.Matrix
+	labels []int32
+	err    error
+}
+
+// fetchFunc gathers a sampled batch's feature rows and target labels
+// (through a replica's DataSource). It runs on sampling workers, so it
+// must be safe to call concurrently with training.
+type fetchFunc func(mb *sampler.MiniBatch) (*tensor.Matrix, []int32, error)
+
 // newPrefetcher starts `workers` sampling goroutines over the given jobs.
 // The prefetch window bounds how far sampling runs ahead of consumption.
 func newPrefetcher(s sampler.Sampler, jobs []prefetchJob, workers int) *prefetcher {
+	return newFetchingPrefetcher(s, jobs, workers, nil)
+}
+
+// newFetchingPrefetcher is newPrefetcher with an optional fetch stage:
+// when fetch is non-nil, workers gather each sampled batch's features
+// and labels before handing it over, overlapping the (possibly remote)
+// gather with the trainer's compute on earlier batches.
+func newFetchingPrefetcher(s sampler.Sampler, jobs []prefetchJob, workers int, fetch fetchFunc) *prefetcher {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &prefetcher{
 		jobs:    make(chan prefetchJob),
-		results: make([]chan *sampler.MiniBatch, len(jobs)),
+		results: make([]chan batchData, len(jobs)),
 		window:  make(chan struct{}, workers+2),
+		quit:    make(chan struct{}),
 	}
 	for i := range p.results {
-		p.results[i] = make(chan *sampler.MiniBatch, 1)
+		p.results[i] = make(chan batchData, 1)
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for job := range p.jobs {
+			for {
+				var job prefetchJob
+				var ok bool
+				select {
+				case job, ok = <-p.jobs:
+					if !ok {
+						return
+					}
+				case <-p.quit:
+					return
+				}
 				rng := rand.New(rand.NewSource(job.seed))
-				p.results[job.index] <- s.Sample(rng, job.targets)
+				bd := batchData{mb: s.Sample(rng, job.targets)}
+				if fetch != nil && bd.mb != nil && len(bd.mb.Targets) > 0 {
+					bd.x0, bd.labels, bd.err = fetch(bd.mb)
+				}
+				select {
+				case p.results[job.index] <- bd:
+				case <-p.quit:
+					return
+				}
 			}
 		}()
 	}
+	p.wg.Add(1)
 	go func() {
+		defer p.wg.Done()
 		for _, job := range jobs {
-			p.window <- struct{}{} // blocks when the window is full
-			p.jobs <- job
+			select {
+			case p.window <- struct{}{}: // blocks when the window is full
+			case <-p.quit:
+				return
+			}
+			select {
+			case p.jobs <- job:
+			case <-p.quit:
+				return
+			}
 		}
 		close(p.jobs)
 	}()
 	return p
 }
 
-// Next returns the mini-batch for the next job index, blocking until it is
-// sampled. It must be called exactly len(jobs) times.
-func (p *prefetcher) Next() *sampler.MiniBatch {
-	mb := <-p.results[p.next]
+// NextData returns the prefetched data for the next job index, blocking
+// until it is ready. Next and NextData together must be called exactly
+// len(jobs) times.
+func (p *prefetcher) NextData() batchData {
+	bd := <-p.results[p.next]
 	p.next++
 	<-p.window // open a slot for the producer
-	return mb
+	return bd
 }
 
-// Close waits for the worker goroutines to drain. It is safe to call after
-// consuming all batches.
-func (p *prefetcher) Close() { p.wg.Wait() }
+// Next returns the mini-batch for the next job index, blocking until it
+// is sampled.
+func (p *prefetcher) Next() *sampler.MiniBatch { return p.NextData().mb }
+
+// Close stops the feeder and worker goroutines and waits for them to
+// drain. It is idempotent and safe to call at any point — including
+// mid-epoch when an error aborts consumption early, where it unblocks
+// workers parked on the reorder buffer so nothing leaks.
+func (p *prefetcher) Close() {
+	p.stop.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 
 	"argo/internal/graph"
 	"argo/internal/sampler"
+	"argo/internal/tensor"
 )
 
 // countingSampler wraps a sampler and records concurrency.
@@ -102,6 +103,62 @@ func TestPrefetcherOrdering(t *testing.T) {
 		mb := p.Next()
 		if mb.Targets[0] != ds.TrainIdx[i] {
 			t.Fatalf("batch %d out of order", i)
+		}
+	}
+	p.Close()
+}
+
+// The fetch stage runs on the sampling workers and attaches features
+// and labels that are identical to an inline gather, in job order, for
+// any worker count.
+func TestFetchingPrefetcherAttachesGatheredData(t *testing.T) {
+	ds := testDataset(t)
+	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
+	src := datasetSource{ds}
+	fetch := func(mb *sampler.MiniBatch) (*tensor.Matrix, []int32, error) {
+		x0, err := src.GatherFeatures(mb.InputNodes())
+		if err != nil {
+			return nil, nil, err
+		}
+		labels, err := src.TargetLabels(mb.Targets)
+		return x0, labels, err
+	}
+	for _, workers := range []int{1, 4} {
+		jobs := prefetchJobs(t, ds, 12)
+		p := newFetchingPrefetcher(smp, jobs, workers, fetch)
+		for i := 0; i < len(jobs); i++ {
+			bd := p.NextData()
+			if bd.err != nil {
+				t.Fatal(bd.err)
+			}
+			if bd.x0 == nil || bd.labels == nil {
+				t.Fatalf("workers=%d: job %d missing prefetched data", workers, i)
+			}
+			want, err := src.GatherFeatures(bd.mb.InputNodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bd.x0.Equal(want) {
+				t.Fatalf("workers=%d: job %d prefetched features differ from inline gather", workers, i)
+			}
+			if len(bd.labels) != len(bd.mb.Targets) {
+				t.Fatalf("workers=%d: job %d has %d labels for %d targets", workers, i, len(bd.labels), len(bd.mb.Targets))
+			}
+		}
+		p.Close()
+	}
+}
+
+// Without a fetch callback the prefetcher must not gather anything.
+func TestPlainPrefetcherSkipsFetch(t *testing.T) {
+	ds := testDataset(t)
+	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
+	jobs := prefetchJobs(t, ds, 3)
+	p := newPrefetcher(smp, jobs, 2)
+	for range jobs {
+		bd := p.NextData()
+		if bd.x0 != nil || bd.labels != nil || bd.err != nil {
+			t.Fatalf("plain prefetcher attached data: %+v", bd)
 		}
 	}
 	p.Close()

@@ -38,9 +38,20 @@ func (s datasetSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
 	return out, nil
 }
 
+// GradientRouter is the optional reverse path of a DataSource: sharded
+// sources route per-row gradient contributions back to the rows' owning
+// replicas (ddp.HaloExchange.ScatterGradients), which is what a
+// partition-local sampler needs to train without assembling the global
+// topology. The in-memory dataset source has no reverse path.
+type GradientRouter interface {
+	// ScatterGradients sends grads (len(ids)×featDim, row i the
+	// contribution to ids[i]) to the owners of ids.
+	ScatterGradients(ids []graph.NodeID, grads *tensor.Matrix) error
+}
+
 // shardSource is one replica's view of a sharded run: every lookup goes
 // through the exchange, which serves owned rows locally and foreign
-// rows from their owning replica.
+// rows from their owning replica in batched per-peer messages.
 type shardSource struct {
 	ex      *ddp.HaloExchange
 	replica int
@@ -52,6 +63,10 @@ func (s shardSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) 
 
 func (s shardSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
 	return s.ex.TargetLabels(s.replica, ids)
+}
+
+func (s shardSource) ScatterGradients(ids []graph.NodeID, grads *tensor.Matrix) error {
+	return s.ex.ScatterGradients(s.replica, ids, grads)
 }
 
 // replicaShard is one shard materialised into its owning replica's
@@ -71,14 +86,31 @@ func (rs *replicaShard) row(v graph.NodeID) int {
 	return -1
 }
 
-// NewShardSources maps a shard set onto numProcs replicas: shard s is
-// owned by replica s mod numProcs, each replica materialises only its
-// own shards' feature and label sections (lazy / mmap-backed for
+// ShardSourceOptions configures NewShardSourcesOpts.
+type ShardSourceOptions struct {
+	// Transport names the ddp transport carrying the exchange: "" or
+	// "inproc" for direct calls, "tcp" for loopback sockets.
+	Transport string
+}
+
+// NewShardSources maps a shard set onto numProcs replicas over the
+// in-process transport. See NewShardSourcesOpts.
+func NewShardSources(ss *graph.ShardSet, numProcs int) ([]DataSource, *ddp.HaloExchange, error) {
+	return NewShardSourcesOpts(ss, numProcs, ShardSourceOptions{})
+}
+
+// NewShardSourcesOpts maps a shard set onto numProcs replicas: shard s
+// is owned by replica s mod numProcs, each replica materialises only
+// its own shards' feature and label sections (lazy / mmap-backed for
 // file-backed sets — the other shards' feature bytes are never read by
 // this replica), and all lookups flow through the returned
 // HaloExchange, whose stats expose the cross-replica traffic a real
-// multi-node run would put on the wire.
-func NewShardSources(ss *graph.ShardSet, numProcs int) ([]DataSource, *ddp.HaloExchange, error) {
+// multi-node run would put on the wire. The exchange batches one
+// message per (peer, gather) over the selected transport, with buffer
+// sizes planned from the manifest's per-shard cut-arc counts; the
+// caller owns the exchange and must Close it (which closes the
+// transport).
+func NewShardSourcesOpts(ss *graph.ShardSet, numProcs int, opt ShardSourceOptions) ([]DataSource, *ddp.HaloExchange, error) {
 	if numProcs < 1 {
 		return nil, nil, fmt.Errorf("engine: %d replicas for a shard set", numProcs)
 	}
@@ -146,8 +178,16 @@ func NewShardSources(ss *graph.ShardSet, numProcs int) ([]DataSource, *ddp.HaloE
 			return rs.labels[i], nil
 		}
 	}
-	ex, err := ddp.NewHaloExchange(numProcs, featDim, owner, serveFeat, serveLabel)
+	tr, err := ddp.NewTransport(opt.Transport)
 	if err != nil {
+		return nil, nil, err
+	}
+	ex, err := ddp.NewHaloExchangeOpts(numProcs, featDim, owner, serveFeat, serveLabel, ddp.ExchangeOptions{
+		Transport: tr,
+		Plan:      ddp.PlanFromCuts(ss.Manifest.ReplicaCutArcs(numProcs)),
+	})
+	if err != nil {
+		tr.Close()
 		return nil, nil, err
 	}
 	sources := make([]DataSource, numProcs)

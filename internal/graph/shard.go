@@ -143,6 +143,42 @@ func (m *ShardManifest) Owner(v NodeID) (int, error) {
 	return m.Runs[i].Shard, nil
 }
 
+// TotalCutArcs sums the per-shard cut-arc counts — the shard set's
+// whole edge cut, the upper bound on distinct halo rows any exchange
+// over this set can move per epoch.
+func (m *ShardManifest) TotalCutArcs() int64 {
+	var cut int64
+	for _, e := range m.Shards {
+		cut += e.CutArcs
+	}
+	return cut
+}
+
+// EdgeCutFraction is the edge cut as a fraction of all arcs (0 when the
+// manifest records no arcs).
+func (m *ShardManifest) EdgeCutFraction() float64 {
+	if m.NumArcs == 0 {
+		return 0
+	}
+	return float64(m.TotalCutArcs()) / float64(m.NumArcs)
+}
+
+// ReplicaCutArcs aggregates the per-shard cut-arc counts onto numProcs
+// training replicas under the engine's shard→replica mapping (shard s
+// belongs to replica s mod numProcs) — the exchange planner's cost
+// input: replica r's entry bounds the foreign rows its gathers can
+// reference.
+func (m *ShardManifest) ReplicaCutArcs(numProcs int) []int64 {
+	if numProcs < 1 {
+		return nil
+	}
+	out := make([]int64, numProcs)
+	for s, e := range m.Shards {
+		out[s%numProcs] += e.CutArcs
+	}
+	return out
+}
+
 // ownerRuns run-length-encodes a partition assignment.
 func ownerRuns(assign []int32) []OwnerRun {
 	var runs []OwnerRun

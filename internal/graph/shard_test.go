@@ -363,3 +363,57 @@ func TestShardSetRefusesTrainStarvedShards(t *testing.T) {
 		t.Fatalf("train-starved sharding accepted: %v", err)
 	}
 }
+
+// The manifest cost accessors are the exchange planner's input: totals
+// must agree with the per-shard entries, and the replica aggregation
+// must follow the engine's shard→replica mapping (s mod n).
+func TestManifestCostAccessors(t *testing.T) {
+	ds := shardTestDataset(t)
+	ss, err := ShardSetFromDataset(ds, ShardOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	m := &ss.Manifest
+	var want int64
+	for _, e := range m.Shards {
+		want += e.CutArcs
+	}
+	if got := m.TotalCutArcs(); got != want || got == 0 {
+		t.Fatalf("TotalCutArcs %d, want %d (non-zero)", got, want)
+	}
+	frac := m.EdgeCutFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("EdgeCutFraction %v", frac)
+	}
+	if frac != float64(want)/float64(m.NumArcs) {
+		t.Fatalf("EdgeCutFraction %v inconsistent with totals", frac)
+	}
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		cuts := m.ReplicaCutArcs(n)
+		if len(cuts) != n {
+			t.Fatalf("ReplicaCutArcs(%d) has %d entries", n, len(cuts))
+		}
+		var sum int64
+		for _, c := range cuts {
+			sum += c
+		}
+		if sum != want {
+			t.Fatalf("ReplicaCutArcs(%d) sums to %d, want %d", n, sum, want)
+		}
+	}
+	// Shard s lands on replica s mod n.
+	cuts := m.ReplicaCutArcs(3)
+	var manual [3]int64
+	for s, e := range m.Shards {
+		manual[s%3] += e.CutArcs
+	}
+	for r := range manual {
+		if cuts[r] != manual[r] {
+			t.Fatalf("replica %d cut %d, want %d", r, cuts[r], manual[r])
+		}
+	}
+	if m.ReplicaCutArcs(0) != nil {
+		t.Fatal("ReplicaCutArcs(0) should be nil")
+	}
+}

@@ -160,6 +160,11 @@ type Report struct {
 	// TotalSeconds is the end-to-end training time: every epoch at its
 	// observed cost.
 	TotalSeconds float64 `json:"total_seconds"`
+	// Exchange carries the halo-exchange traffic summary of a sharded
+	// run (argo-train attaches GNNTrainer.ExchangeStats before writing
+	// the report); nil for single-store runs. Peers serialise in
+	// deterministic (From, To) order.
+	Exchange *ExchangeStats `json:"exchange,omitempty"`
 }
 
 // WriteJSON serialises the report, indented, to w.

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"argo/internal/ddp"
 	"argo/internal/search"
 )
 
@@ -388,6 +389,46 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadReport(bytes.NewReader([]byte("{not json"))); err == nil {
 		t.Fatal("garbage must not decode")
+	}
+}
+
+// A report carrying a sharded run's exchange stats round-trips, and a
+// report without them serialises with no exchange key at all (old
+// reports stay byte-stable).
+func TestReportExchangeStatsRoundTrip(t *testing.T) {
+	rep := Report{
+		Strategy: StrategyBayesOpt,
+		Exchange: &ExchangeStats{
+			Transport:   "tcp",
+			LocalRows:   10,
+			RemoteRows:  4,
+			RemoteBytes: 128,
+			Messages:    2,
+			Peers: []PeerTraffic{
+				{From: 0, To: 1, PeerCounts: ddp.PeerCounts{Rows: 4, Bytes: 128, Messages: 2}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"exchange"`) || !strings.Contains(buf.String(), `"peers"`) {
+		t.Fatalf("exchange stats missing from JSON:\n%s", buf.String())
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back.Exchange, rep.Exchange)
+	}
+	buf.Reset()
+	if err := (Report{Strategy: StrategyBayesOpt}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "exchange") {
+		t.Fatal("single-store report grew an exchange key")
 	}
 }
 
