@@ -370,5 +370,17 @@ func (t *GNNTrainer) ExchangeStats() *ExchangeStats { return t.inner.ExchangeSta
 // Epochs returns how many epochs have been trained.
 func (t *GNNTrainer) Epochs() int { return t.inner.Epoch() }
 
+// SaveCheckpoint writes the current model weights to path atomically
+// (temp + rename, like .argograph saves). The written checkpoint is
+// self-describing — nn.LoadModel reconstructs the architecture from it —
+// and is what `argo-serve` consumes.
+func (t *GNNTrainer) SaveCheckpoint(path string) error {
+	m, err := t.inner.Model()
+	if err != nil {
+		return err
+	}
+	return m.SaveCheckpointFile(path)
+}
+
 // Close releases the trainer's core binding.
 func (t *GNNTrainer) Close() error { return t.inner.Close() }

@@ -12,6 +12,18 @@
 //	argo-bench -exp none -strategy all -json BENCH_argo.json
 //	argo-bench -exp none -dataset arxiv-sim,reddit-sim
 //	argo-bench -exchange -transport tcp -dataset tiny
+//	argo-bench -serve -dataset tiny -requests 400 -cache-bytes 4096
+//
+// -serve switches to the inference-serving benchmark: each workload is
+// served through the argo-serve stack (full-neighbor gather, hot-node
+// feature cache, micro-batcher) under a Zipf-skewed and a uniform query
+// stream, and the per-workload rows — cache hit-rate, batch shape,
+// latency percentiles, throughput — are merged into BENCH_argo.json as
+// a "serve" section next to the strategy entries. Closed loop by
+// default (-concurrency workers back to back); -rate switches to an
+// open loop firing at that many requests/sec. Under -stable the drive
+// is sequential and wall-clock fields are zeroed, so the rows (and the
+// zipf-vs-uniform hit-rate gap CI gates on) are seed-deterministic.
 //
 // -exchange switches to the halo-exchange traffic benchmark: each
 // workload is sharded (k=4), trained for two epochs on two replicas
@@ -158,6 +170,13 @@ func main() {
 		"run the halo-exchange traffic benchmark instead of the experiments/strategy benchmarks")
 	transport := flag.String("transport", "inproc",
 		"exchange transport for -exchange: inproc (direct calls) or tcp (loopback sockets)")
+	serveFlag := flag.Bool("serve", false,
+		"run the inference-serving benchmark (zipf vs uniform query streams) and merge a \"serve\" section into the JSON artifact")
+	serveRequests := flag.Int("requests", 400, "serving benchmark: requests per (dataset, workload) row")
+	serveConcurrency := flag.Int("concurrency", 4, "serving benchmark: closed-loop client workers")
+	serveReqNodes := flag.Int("req-nodes", 4, "serving benchmark: nodes per predict request")
+	serveRate := flag.Float64("rate", 0, "serving benchmark: open-loop request rate in req/s (0 = closed loop)")
+	serveCacheBytes := flag.Int64("cache-bytes", 64<<10, "serving benchmark: hot-node feature cache budget")
 	flag.Parse()
 
 	loadMode, err := datasets.ParseLoadMode(*lazyFlag)
@@ -178,6 +197,16 @@ func main() {
 			jp = "BENCH_exchange.json" // don't clobber the strategy artifact by default
 		}
 		if err := benchExchange(*datasetFlag, *transport, jp, *stable, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveFlag {
+		// Merges into the strategy artifact rather than clobbering it,
+		// so the default -json path is the right destination.
+		if err := benchServe(*datasetFlag, *serveRequests, *serveConcurrency, *serveReqNodes,
+			*serveRate, *serveCacheBytes, *jsonPath, *stable, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"argo/internal/datasets"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/serve"
+)
+
+// serveBench is one (dataset, workload) row of the serving benchmark:
+// the same stack argo-serve runs (full-neighbor gather, hot-node cache,
+// micro-batcher), driven in-process so the numbers measure the serving
+// path rather than HTTP framing.
+type serveBench struct {
+	Dataset          string  `json:"dataset"`
+	Workload         string  `json:"workload"` // zipf or uniform
+	Requests         int     `json:"requests"`
+	RequestNodes     int     `json:"request_nodes"`
+	Concurrency      int     `json:"concurrency"`
+	OpenLoopRPS      float64 `json:"open_loop_rps,omitempty"`
+	CacheBytes       int64   `json:"cache_bytes"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEvictions   int64   `json:"cache_evictions"`
+	Batches          int64   `json:"batches"`
+	MeanBatchNodes   float64 `json:"mean_batch_nodes"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	LatencyP50Micros float64 `json:"latency_p50_micros"`
+	LatencyP95Micros float64 `json:"latency_p95_micros"`
+	LatencyP99Micros float64 `json:"latency_p99_micros"`
+	LatencyMaxMicros float64 `json:"latency_max_micros"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// mergedBench is benchJSON plus the serve section. benchServe reads the
+// existing artifact through it so a prior strategy benchmark's entries
+// survive the rewrite (CI runs the strategy benchmark first, then
+// -serve merges into the same file).
+type mergedBench struct {
+	TotalCores int            `json:"total_cores"`
+	Searches   int            `json:"searches"`
+	Epochs     int            `json:"epochs"`
+	Datasets   []datasetBench `json:"datasets"`
+	Serve      []serveBench   `json:"serve,omitempty"`
+}
+
+// benchServe benchmarks the serving stack on each workload dataset
+// under a Zipf-skewed and a uniform query stream, and merges the rows
+// into jsonPath. With stable set the drive is sequential (one closed
+// loop, no coalescing window) and wall-clock fields are zeroed, so the
+// rows — including the cache hit-rates the CI skew gate compares — are
+// a pure function of the seed.
+func benchServe(datasetFlag string, requests, concurrency, reqNodes int, rate float64, cacheBytes int64, jsonPath string, stable bool, w *os.File) error {
+	var names []string
+	if datasetFlag == "all" {
+		names = datasets.PaperNames()
+	} else {
+		for _, n := range strings.Split(datasetFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-dataset selected no workloads")
+	}
+	if requests < 1 || reqNodes < 1 || concurrency < 1 {
+		return fmt.Errorf("-requests, -req-nodes, and -concurrency must be positive")
+	}
+	const seed = 7
+	var rows []serveBench
+	for _, name := range names {
+		ds, err := datasets.Resolve(name, seed)
+		if err != nil {
+			return err
+		}
+		if reqNodes > ds.Graph.NumNodes {
+			return fmt.Errorf("%s: -req-nodes %d exceeds the graph (%d nodes)", name, reqNodes, ds.Graph.NumNodes)
+		}
+		// A single-layer model pins the regime the feature cache is
+		// designed for: each request fetches its targets' one-hop rows,
+		// so query skew translates directly into fetch locality. Deeper
+		// models' full-neighborhood gathers are cache-hostile scans —
+		// one hub's k-hop frontier evicts everything under LRU no
+		// matter how skewed the queries are — which would make the row
+		// measure eviction pathology, not workload locality. Weights
+		// are seeded, not trained; serving cost does not depend on what
+		// the weights are.
+		model, err := nn.NewModel(nn.ModelSpec{
+			Kind: nn.KindSAGE,
+			Dims: []int{ds.Features.Cols, ds.NumClasses},
+			Seed: seed,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		for _, workload := range []string{"zipf", "uniform"} {
+			row, err := runServeWorkload(name, workload, ds, model, requests, concurrency, reqNodes, rate, cacheBytes, stable)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-16s %-8s %d reqs × %d nodes: hit-rate %.3f, %d batches (%.1f nodes/batch), p95 %.0fµs\n",
+				name, workload, row.Requests, row.RequestNodes, row.CacheHitRate,
+				row.Batches, row.MeanBatchNodes, row.LatencyP95Micros)
+		}
+	}
+	// Merge: keep whatever strategy entries are already in the artifact.
+	var out mergedBench
+	if raw, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", jsonPath, err)
+		}
+	}
+	out.Serve = rows
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serve benchmark (%d rows) merged into %s\n", len(rows), jsonPath)
+	return nil
+}
+
+// runServeWorkload builds a fresh serving stack (so cache state is
+// isolated per row) and drives it with the named query stream.
+func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN, requests, concurrency, reqNodes int, rate float64, cacheBytes int64, stable bool) (serveBench, error) {
+	const seed = 7
+	cache := serve.NewFeatureCache(cacheBytes)
+	inf, err := serve.NewInferencer(serve.InferencerOptions{
+		Model:    model,
+		Graph:    ds.Graph,
+		Features: serve.NewMatrixFeatureSource(ds.Features),
+		Cache:    cache,
+		Workers:  2,
+	})
+	if err != nil {
+		return serveBench{}, err
+	}
+	cfg := serve.BatcherConfig{Window: 2 * time.Millisecond, MaxNodes: 256}
+	if stable {
+		// No coalescing window: with a sequential drive every request is
+		// its own batch and the LRU trace is deterministic.
+		cfg = serve.BatcherConfig{}
+	}
+	b := serve.NewBatcher(inf, cfg)
+	defer b.Close()
+
+	newGen := func(genSeed int64) (serve.Generator, error) {
+		if workload == "zipf" {
+			return serve.NewZipfGenerator(ds.Graph, genSeed, 1.5)
+		}
+		return serve.NewUniformGenerator(ds.Graph.NumNodes, genSeed)
+	}
+
+	latencies := make([]float64, 0, requests)
+	var mu sync.Mutex
+	record := func(d time.Duration) {
+		mu.Lock()
+		latencies = append(latencies, float64(d.Microseconds()))
+		mu.Unlock()
+	}
+	start := time.Now()
+	switch {
+	case stable:
+		gen, err := newGen(seed)
+		if err != nil {
+			return serveBench{}, err
+		}
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			if _, err := b.Predict(serve.NextBatch(gen, reqNodes)); err != nil {
+				return serveBench{}, err
+			}
+			record(time.Since(t0))
+		}
+	case rate > 0:
+		// Open loop: fire at the target rate no matter how fast the
+		// server answers; queueing shows up as latency.
+		var wg sync.WaitGroup
+		errCh := make(chan error, 1)
+		gen, err := newGen(seed)
+		if err != nil {
+			return serveBench{}, err
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		ticker := time.NewTicker(interval)
+		for i := 0; i < requests; i++ {
+			<-ticker.C
+			nodes := serve.NextBatch(gen, reqNodes)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				if _, err := b.Predict(nodes); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				record(time.Since(t0))
+			}()
+		}
+		ticker.Stop()
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return serveBench{}, err
+		default:
+		}
+	default:
+		// Closed loop: concurrency workers, each with its own seeded
+		// stream, back to back.
+		var wg sync.WaitGroup
+		errCh := make(chan error, concurrency)
+		per := requests / concurrency
+		extra := requests % concurrency
+		for c := 0; c < concurrency; c++ {
+			n := per
+			if c < extra {
+				n++
+			}
+			wg.Add(1)
+			go func(c, n int) {
+				defer wg.Done()
+				gen, err := newGen(seed + int64(c))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < n; i++ {
+					t0 := time.Now()
+					if _, err := b.Predict(serve.NextBatch(gen, reqNodes)); err != nil {
+						errCh <- err
+						return
+					}
+					record(time.Since(t0))
+				}
+			}(c, n)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if err != nil {
+				return serveBench{}, err
+			}
+		}
+	}
+	wall := time.Since(start).Seconds()
+
+	cs := cache.Stats()
+	bs := b.Stats()
+	row := serveBench{
+		Dataset:        dsName,
+		Workload:       workload,
+		Requests:       requests,
+		RequestNodes:   reqNodes,
+		Concurrency:    concurrency,
+		OpenLoopRPS:    rate,
+		CacheBytes:     cacheBytes,
+		CacheHitRate:   cs.HitRate,
+		CacheEvictions: cs.Evictions,
+		Batches:        bs.Batches,
+		MeanBatchNodes: bs.MeanBatchNodes,
+	}
+	if stable {
+		row.Concurrency = 1
+	} else {
+		row.ThroughputRPS = float64(requests) / wall
+		row.WallSeconds = wall
+		sort.Float64s(latencies)
+		row.LatencyP50Micros = percentile(latencies, 0.50)
+		row.LatencyP95Micros = percentile(latencies, 0.95)
+		row.LatencyP99Micros = percentile(latencies, 0.99)
+		row.LatencyMaxMicros = latencies[len(latencies)-1]
+	}
+	return row, nil
+}
+
+// percentile reads the q-quantile from sorted (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,197 @@
+// Command argo-serve answers node-classification queries over HTTP from
+// a trained checkpoint and an .argograph store — the inference-side
+// counterpart of argo-train. Queries are coalesced into micro-batches
+// (one forward pass per batch) and feature rows are read row-granularly
+// through an LRU hot-node cache, so a store much larger than RAM can be
+// served directly off disk.
+//
+// Usage:
+//
+//	argo-train -dataset tiny -epochs 2 -save-checkpoint model.ckpt
+//	argo-serve -store tiny.argograph -checkpoint model.ckpt -addr :8090
+//	curl -s localhost:8090/v1/predict -d '{"nodes":[0,1,2]}'
+//
+// Endpoints: POST /v1/predict ({"nodes":[...]} -> labels + logits),
+// GET /healthz, GET /statz (cache, batcher, and server counters).
+//
+// -direct bypasses the server entirely: it assembles the full dataset,
+// runs one reference forward pass for -nodes, and prints the same JSON
+// a /v1/predict call returns. CI pins the served path against it —
+// the two must match bit for bit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"argo/internal/datasets"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("argo-serve: ")
+	var (
+		store      = flag.String("store", "", "dataset: registry name or .argograph path")
+		shards     = flag.String("shards", "", "shard set instead of -store: name#k or a .shard0 store path")
+		checkpoint = flag.String("checkpoint", "", "checkpoint written by argo-train -save-checkpoint (required)")
+		addr       = flag.String("addr", ":8090", "listen address")
+		window     = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch window (0 disables coalescing)")
+		batchMax   = flag.Int("batch-max", 256, "flush a batch at this many unique nodes (0 = no cap)")
+		cacheBytes = flag.Int64("cache-bytes", 4<<20, "hot-node feature cache budget in bytes (0 disables)")
+		seed       = flag.Int64("seed", 1, "generation seed when -store/-shards is a registry name")
+		direct     = flag.Bool("direct", false, "no server: print the reference predictions for -nodes and exit")
+		nodes      = flag.String("nodes", "", "comma-separated node ids for -direct")
+	)
+	flag.Parse()
+	if *checkpoint == "" {
+		log.Fatal("-checkpoint is required")
+	}
+	if (*store == "") == (*shards == "") {
+		log.Fatal("exactly one of -store or -shards is required")
+	}
+	if err := run(*store, *shards, *checkpoint, *addr, *window, *batchMax, *cacheBytes, *seed, *direct, *nodes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(store, shards, checkpoint, addr string, window time.Duration, batchMax int, cacheBytes, seed int64, direct bool, nodeList string) error {
+	// Open the store and the topology first: the model loader needs the
+	// degree array for GCN checkpoints.
+	var (
+		feats   serve.FeatureSource
+		g       *graph.CSR
+		dsName  string
+		closeFn func() error
+	)
+	switch {
+	case shards != "":
+		ss, err := datasets.ResolveShards(shards, seed)
+		if err != nil {
+			return err
+		}
+		closeFn = ss.Close
+		if g, err = ss.AssembleTopology(); err != nil {
+			return err
+		}
+		if feats, err = serve.NewShardFeatureSource(ss); err != nil {
+			return err
+		}
+		dsName = ss.Spec().Name
+	default:
+		lz, err := datasets.ResolveLazy(store, seed, datasets.LoadAuto)
+		if err != nil {
+			return err
+		}
+		closeFn = lz.Close
+		if g, err = lz.Topology(); err != nil {
+			return err
+		}
+		feats = serve.NewLazyFeatureSource(lz)
+		dsName = lz.Spec().Name
+	}
+	defer closeFn()
+
+	degrees := make([]int, g.NumNodes)
+	for v := range degrees {
+		degrees[v] = g.Degree(graph.NodeID(v))
+	}
+	model, err := nn.LoadModelFile(checkpoint, degrees)
+	if err != nil {
+		return err
+	}
+
+	if direct {
+		return printDirect(model, store, shards, seed, nodeList)
+	}
+
+	var cache *serve.FeatureCache
+	if cacheBytes > 0 {
+		cache = serve.NewFeatureCache(cacheBytes)
+	}
+	inf, err := serve.NewInferencer(serve.InferencerOptions{
+		Model:    model,
+		Graph:    g,
+		Features: feats,
+		Cache:    cache,
+	})
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(inf, serve.BatcherConfig{Window: window, MaxNodes: batchMax}, string(model.Spec.Kind))
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s (%s, %d nodes, %d classes) on %s", dsName, model.Spec.Kind, g.NumNodes, inf.NumClasses(), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	srv.Close()
+	log.Print("drained")
+	return nil
+}
+
+// printDirect runs the reference single-batch forward pass on the fully
+// materialised dataset and prints a PredictResponse — the bytes CI
+// compares a served answer against.
+func printDirect(model *nn.GNN, store, shards string, seed int64, nodeList string) error {
+	if nodeList == "" {
+		return fmt.Errorf("-direct needs -nodes")
+	}
+	var targets []graph.NodeID
+	for _, f := range strings.Split(nodeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -nodes entry %q: %w", f, err)
+		}
+		targets = append(targets, graph.NodeID(n))
+	}
+	var (
+		ds  *graph.Dataset
+		err error
+	)
+	if shards != "" {
+		ss, serr := datasets.ResolveShards(shards, seed)
+		if serr != nil {
+			return serr
+		}
+		defer ss.Close()
+		ds, err = ss.AssembleDataset()
+	} else {
+		ds, err = datasets.Resolve(store, seed)
+	}
+	if err != nil {
+		return err
+	}
+	preds, err := serve.DirectPredict(model, ds, targets, 1)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(serve.PredictResponse{Predictions: preds})
+}

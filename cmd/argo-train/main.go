@@ -125,6 +125,8 @@ func main() {
 		"halo-exchange transport for -shards runs: inproc (direct calls) or tcp (batched messages over loopback sockets)")
 	overlap := flag.Bool("overlap", true,
 		"overlap the halo exchange with sampling: prefetch batch i+1's features while batch i computes (losses are identical either way)")
+	ckptPath := flag.String("save-checkpoint", "",
+		"write the final model weights to this file (atomic temp+rename); argo-serve loads it for inference")
 	flag.Parse()
 
 	mode, err := datasets.ParseLoadMode(*lazyFlag)
@@ -270,6 +272,12 @@ func main() {
 		} else {
 			log.Fatalf("argo-train: %v", runErr)
 		}
+	}
+	if *ckptPath != "" {
+		if err := trainer.SaveCheckpoint(*ckptPath); err != nil {
+			log.Fatalf("argo-train: %v", err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
 	}
 	// A sharded run's exchange traffic rides along in the report and in
 	// -loss-json, with peers in deterministic (from, to) order.

@@ -218,6 +218,19 @@ func (tr *Trainer) Evaluate() (float64, error) {
 // Engine exposes the current Multi-Process Engine (nil before first use).
 func (tr *Trainer) Engine() *engine.Engine { return tr.eng }
 
+// Model returns the current model (replica 0 — replicas stay
+// bit-identical), binding a minimal single-process engine first if the
+// trainer has never run. The checkpoint path uses this to persist final
+// weights for the inference server.
+func (tr *Trainer) Model() (*nn.GNN, error) {
+	if tr.eng == nil {
+		if err := tr.bind(search.Config{Procs: 1, SampleCores: 1, TrainCores: 1}); err != nil {
+			return nil, err
+		}
+	}
+	return tr.eng.Model(0), nil
+}
+
 // bind (re-)launches the Multi-Process Engine for cfg: release the old
 // core binding, allocate cfg's cores, rebuild the engine, and carry the
 // model weights over.

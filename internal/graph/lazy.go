@@ -2,9 +2,11 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sync"
 
@@ -46,6 +48,11 @@ type LazyDataset struct {
 	feats  *tensor.Matrix
 	labels []int32
 	splits *[3][]NodeID
+
+	// featRowsChecked records that the features section's row/col header
+	// has been validated against the stats section, so FeatureRow can
+	// slice straight into the payload on every later call.
+	featRowsChecked bool
 
 	// eager holds the fully decoded dataset for v1 stores (and caches
 	// the assembled one for v2).
@@ -389,6 +396,92 @@ func (l *LazyDataset) featuresLocked() (*tensor.Matrix, error) {
 	}
 	l.feats = m
 	return m, nil
+}
+
+// FeatureDim returns the feature width (stats section; costs nothing).
+func (l *LazyDataset) FeatureDim() int { return l.stats.FeatCols }
+
+// NumFeatureRows returns the feature row count (stats section).
+func (l *LazyDataset) NumFeatureRows() int { return l.stats.FeatRows }
+
+// FeatureRow reads the single feature row i into dst without
+// materialising the features section. dst is grown as needed and the
+// filled slice returned, so a caller with a pooled buffer pays no
+// allocation. On an mmap-backed store the read is one row-sized slice of
+// the mapping; on the ReadAt fallback it is one pread. Already
+// materialised features (eager stores, or after Features was called)
+// are served from the cached matrix.
+//
+// Row reads deliberately skip the section CRC: verifying it would read
+// every feature byte, which is exactly what the row-granular path
+// exists to avoid. `argo-data verify` remains the integrity gate.
+func (l *LazyDataset) FeatureRow(i int, dst []float32) ([]float32, error) {
+	cols := l.stats.FeatCols
+	if i < 0 || i >= l.stats.FeatRows {
+		return nil, fmt.Errorf("graph: feature row %d outside [0,%d)", i, l.stats.FeatRows)
+	}
+	if cap(dst) < cols {
+		dst = make([]float32, cols)
+	}
+	dst = dst[:cols]
+
+	l.mu.Lock()
+	if l.feats == nil && l.eager != nil {
+		l.feats = l.eager.Features
+	}
+	if m := l.feats; m != nil {
+		l.mu.Unlock()
+		if m.Cols != cols || i >= m.Rows {
+			return nil, fmt.Errorf("graph: features matrix %dx%d disagrees with stats %dx%d",
+				m.Rows, m.Cols, l.stats.FeatRows, cols)
+		}
+		copy(dst, m.Row(i))
+		return dst, nil
+	}
+	src := l.src
+	if src == nil {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("graph: store is closed")
+	}
+	e, ok := findSection(l.sections, secFeatures)
+	if !ok {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("graph: store has no %s section", SectionName(secFeatures))
+	}
+	if !l.featRowsChecked {
+		// First row read: validate the 16-byte section prefix (rows, cols)
+		// against the stats the whole row-offset arithmetic trusts.
+		hdr, err := src.view(e.Offset, 16)
+		if err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+		rows := binary.LittleEndian.Uint64(hdr[0:])
+		c := binary.LittleEndian.Uint64(hdr[8:])
+		if rows != uint64(l.stats.FeatRows) || c != uint64(cols) {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("graph: features section %dx%d disagrees with stats %dx%d",
+				rows, c, l.stats.FeatRows, cols)
+		}
+		if e.Length != 16+4*rows*c {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("graph: features section is %d bytes, want %d for %dx%d",
+				e.Length, 16+4*rows*c, rows, c)
+		}
+		l.featRowsChecked = true
+	}
+	l.mu.Unlock()
+
+	// Row payload: section prefix (16 bytes) then row-major f32s.
+	off := e.Offset + 16 + uint64(i)*uint64(cols)*4
+	b, err := src.view(off, uint64(cols)*4)
+	if err != nil {
+		return nil, err
+	}
+	for k := range dst {
+		dst[k] = math.Float32frombits(binary.LittleEndian.Uint32(b[k*4:]))
+	}
+	return dst, nil
 }
 
 // Labels materialises (and caches) the label vector.

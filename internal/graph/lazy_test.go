@@ -278,3 +278,132 @@ func TestLazyConcurrentAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FeatureRow must return the same bits as the materialised matrix, on
+// every access mode: section-backed (pre-materialisation), cached
+// matrix (post-Features), and eager wrap.
+func TestFeatureRowMatchesFullDecode(t *testing.T) {
+	ds := storeTestDataset(t)
+	path := filepath.Join(t.TempDir(), "rows.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lz, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.FeatureDim() != ds.Features.Cols || lz.NumFeatureRows() != ds.Features.Rows {
+		t.Fatalf("feature shape %dx%d, want %dx%d",
+			lz.NumFeatureRows(), lz.FeatureDim(), ds.Features.Rows, ds.Features.Cols)
+	}
+	buf := make([]float32, 0, lz.FeatureDim())
+	for _, i := range []int{0, 1, ds.Features.Rows / 2, ds.Features.Rows - 1} {
+		row, err := lz.FeatureRow(i, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(row, ds.Features.Row(i)) {
+			t.Fatalf("section-backed row %d differs", i)
+		}
+	}
+	if _, err := lz.FeatureRow(-1, nil); err == nil {
+		t.Fatal("row -1 accepted")
+	}
+	if _, err := lz.FeatureRow(ds.Features.Rows, nil); err == nil {
+		t.Fatal("row past the end accepted")
+	}
+	// After full materialisation the accessor serves from the cached
+	// matrix; values are unchanged.
+	if _, err := lz.Features(); err != nil {
+		t.Fatal(err)
+	}
+	row, err := lz.FeatureRow(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, ds.Features.Row(2)) {
+		t.Fatal("matrix-backed row differs")
+	}
+	// Eager wrap (registry-built workloads) flows through the same API.
+	wrapped := LazyFromDataset(ds)
+	row, err = wrapped.FeatureRow(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, ds.Features.Row(3)) {
+		t.Fatal("eager-wrapped row differs")
+	}
+}
+
+// The serving-path acceptance property: gathering the features of a
+// k-hop neighborhood row by row touches only those rows' bytes — the
+// full feature matrix is never materialised. This is what lets an
+// inference server answer queries against a store much larger than RAM.
+func TestFeatureRowKHopGatherNeverMaterialisesMatrix(t *testing.T) {
+	ds := storeTestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSource{inner: mmapSource{buf.Bytes()}}
+	lz, err := openLazySource(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-hop frontier from a handful of targets, exactly what the
+	// inference gather walks.
+	g, err := lz.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[NodeID]bool{}
+	frontier := []NodeID{0, 7, 13}
+	for _, v := range frontier {
+		seen[v] = true
+	}
+	for hop := 0; hop < 2; hop++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) == ds.Graph.NumNodes {
+		t.Fatalf("degenerate test: 2-hop frontier covers all %d nodes", len(seen))
+	}
+	readsBefore := len(rec.reads)
+	scratch := make([]float32, lz.FeatureDim())
+	for v := range seen {
+		row, err := lz.FeatureRow(int(v), scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(row, ds.Features.Row(int(v))) {
+			t.Fatalf("row %d differs", v)
+		}
+	}
+	featOff, featLen := sectionExtent(t, lz, secFeatures)
+	rowBytes := uint64(lz.FeatureDim()) * 4
+	var featureBytes uint64
+	for _, rd := range rec.reads[readsBefore:] {
+		if rd[0] < featOff || rd[0]+rd[1] > featOff+featLen {
+			t.Fatalf("gather read [%d,+%d) outside the features section", rd[0], rd[1])
+		}
+		featureBytes += rd[1]
+	}
+	// One 16-byte header check plus one row read per gathered node, with
+	// scratch reuse: nothing proportional to the full matrix.
+	want := 16 + rowBytes*uint64(len(seen))
+	if featureBytes != want {
+		t.Fatalf("gather read %d feature bytes, want exactly %d (%d rows)", featureBytes, want, len(seen))
+	}
+	if featureBytes >= featLen {
+		t.Fatalf("gather read %d of %d feature-section bytes — matrix was materialised", featureBytes, featLen)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // checkpointState is the serialised form of a model's parameters.
@@ -38,6 +40,10 @@ func (m *GNN) LoadCheckpoint(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("nn: decode checkpoint: %w", err)
 	}
+	return m.applyCheckpoint(st)
+}
+
+func (m *GNN) applyCheckpoint(st checkpointState) error {
 	if st.Kind != m.Spec.Kind {
 		return fmt.Errorf("nn: checkpoint is a %s model, this is %s", st.Kind, m.Spec.Kind)
 	}
@@ -63,6 +69,65 @@ func (m *GNN) LoadCheckpoint(r io.Reader) error {
 		copy(p.W.Data, st.Data[i])
 	}
 	return nil
+}
+
+// LoadModel reads a checkpoint and constructs the model it describes —
+// the consumer side of SaveCheckpoint for processes (like the inference
+// server) that don't know the architecture up front. degrees is required
+// when the checkpoint holds a GCN model and ignored otherwise.
+func LoadModel(r io.Reader, degrees []int) (*GNN, error) {
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	m, err := NewModel(ModelSpec{Kind: st.Kind, Dims: st.Dims}, degrees)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.applyCheckpoint(st); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveCheckpointFile writes the model's checkpoint to path atomically
+// (temporary sibling + rename, like .argograph saves), so a reader never
+// observes a half-written checkpoint.
+func (m *GNN) SaveCheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := m.SaveCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Checkpoints are shared artifacts (trained here, served elsewhere):
+	// give them ordinary file permissions, not CreateTemp's 0600.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadModelFile is LoadModel over a checkpoint file.
+func LoadModelFile(path string, degrees []int) (*GNN, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := LoadModel(f, degrees)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", path, err)
+	}
+	return m, nil
 }
 
 // CheckpointBytes is a convenience wrapper returning the serialised model.

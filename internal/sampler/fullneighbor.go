@@ -1,0 +1,78 @@
+package sampler
+
+import (
+	"math/rand"
+
+	"argo/internal/graph"
+)
+
+// FullNeighbor is the deterministic inference-time counterpart of
+// Neighbor: every layer aggregates over a destination's ENTIRE
+// neighborhood, in CSR (ascending id) order, with shared sources
+// deduplicated within the batch. Because no sampling happens, the
+// produced blocks — and therefore a model's forward pass over them —
+// are a pure function of (graph, targets): a node's logits are
+// bit-identical whether it is queried alone or coalesced into a batch
+// with arbitrary other nodes. That invariance is what lets the serving
+// path micro-batch cross-request queries and still bit-match a direct
+// single-batch forward pass.
+type FullNeighbor struct {
+	Graph  *graph.CSR
+	Layers int
+}
+
+// NewFullNeighbor returns a full-neighborhood gatherer feeding an
+// L-layer model.
+func NewFullNeighbor(g *graph.CSR, layers int) *FullNeighbor {
+	return &FullNeighbor{Graph: g, Layers: layers}
+}
+
+// Name implements Sampler.
+func (f *FullNeighbor) Name() string { return "fullneighbor" }
+
+// NumLayers implements Sampler.
+func (f *FullNeighbor) NumLayers() int { return f.Layers }
+
+// Sample implements Sampler. The rng is ignored — the gather is
+// deterministic — and may be nil.
+func (f *FullNeighbor) Sample(_ *rand.Rand, targets []graph.NodeID) *MiniBatch {
+	mb := &MiniBatch{Targets: targets}
+	mb.Blocks = make([]Block, f.Layers)
+	mb.Stats.LayerEdges = make([]int64, f.Layers)
+	dst := targets
+	for li := f.Layers - 1; li >= 0; li-- {
+		b := buildFullBlock(f.Graph, dst)
+		mb.Blocks[li] = b
+		mb.Stats.LayerEdges[li] = int64(b.NumEdges())
+		mb.Stats.SampledEdges += int64(b.NumEdges())
+		dst = b.SrcNodes
+	}
+	mb.Stats.InputNodes = int64(len(mb.Blocks[0].SrcNodes))
+	return mb
+}
+
+// buildFullBlock is buildBlock without the reservoir: every neighbour of
+// every dst, in adjacency order, deduplicated across the batch.
+func buildFullBlock(g *graph.CSR, dst []graph.NodeID) Block {
+	b := Block{NumDst: len(dst)}
+	b.SrcNodes = make([]graph.NodeID, len(dst), len(dst)*2)
+	copy(b.SrcNodes, dst)
+	b.RowPtr = make([]int32, len(dst)+1)
+	local := make(map[graph.NodeID]int32, len(dst)*2)
+	for i, v := range dst {
+		local[v] = int32(i)
+	}
+	for i, v := range dst {
+		for _, u := range g.Neighbors(v) {
+			j, ok := local[u]
+			if !ok {
+				j = int32(len(b.SrcNodes))
+				b.SrcNodes = append(b.SrcNodes, u)
+				local[u] = j
+			}
+			b.Col = append(b.Col, j)
+		}
+		b.RowPtr[i+1] = int32(len(b.Col))
+	}
+	return b
+}

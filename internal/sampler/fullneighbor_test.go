@@ -1,0 +1,77 @@
+package sampler
+
+import (
+	"reflect"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+func fullNeighborGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7},
+		{Src: 1, Dst: 7}, {Src: 2, Dst: 6},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Every neighbour must appear, in CSR order, at every layer; blocks
+// validate; and the gather is deterministic without an rng.
+func TestFullNeighborGatherIsCompleteAndDeterministic(t *testing.T) {
+	g := fullNeighborGraph(t)
+	fn := NewFullNeighbor(g, 2)
+	targets := []graph.NodeID{3, 0}
+	mb := fn.Sample(nil, targets)
+	if len(mb.Blocks) != 2 {
+		t.Fatalf("%d blocks", len(mb.Blocks))
+	}
+	for li, b := range mb.Blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("block %d: %v", li, err)
+		}
+		for i := 0; i < b.NumDst; i++ {
+			v := b.SrcNodes[i]
+			var got []graph.NodeID
+			for _, j := range b.Neighbors(i) {
+				got = append(got, b.SrcNodes[j])
+			}
+			want := g.Neighbors(v)
+			if !reflect.DeepEqual(got, append([]graph.NodeID(nil), want...)) {
+				t.Fatalf("layer %d dst %d: neighbours %v, want %v", li, v, got, want)
+			}
+		}
+	}
+	again := fn.Sample(nil, targets)
+	if !reflect.DeepEqual(mb.Blocks, again.Blocks) {
+		t.Fatal("full-neighbor gather is not deterministic")
+	}
+}
+
+// The serving invariance: a target's layer structure (its neighbour
+// global-id lists at every layer) is independent of which other targets
+// share the batch.
+func TestFullNeighborBatchCompositionInvariance(t *testing.T) {
+	g := fullNeighborGraph(t)
+	fn := NewFullNeighbor(g, 2)
+	neighborsOf := func(mb *MiniBatch, li, dstIdx int) []graph.NodeID {
+		b := mb.Blocks[li]
+		var out []graph.NodeID
+		for _, j := range b.Neighbors(dstIdx) {
+			out = append(out, b.SrcNodes[j])
+		}
+		return out
+	}
+	alone := fn.Sample(nil, []graph.NodeID{5})
+	batched := fn.Sample(nil, []graph.NodeID{2, 5, 7})
+	for li := range alone.Blocks {
+		// Node 5 is dst 0 alone, dst 1 in the batch.
+		if !reflect.DeepEqual(neighborsOf(alone, li, 0), neighborsOf(batched, li, 1)) {
+			t.Fatalf("layer %d: node 5's neighbourhood depends on batch composition", li)
+		}
+	}
+}

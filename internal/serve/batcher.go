@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"argo/internal/graph"
+)
+
+// ErrClosed is returned by Batcher.Predict once Close has begun:
+// in-flight requests are answered, new ones are refused.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// ErrBadRequest wraps client mistakes (out-of-range node ids) so the
+// HTTP layer can answer 400 instead of 500.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// BatcherConfig tunes the micro-batching policy.
+type BatcherConfig struct {
+	// Window is how long a batch may wait after its first request before
+	// it is flushed. Zero (or negative) disables coalescing: every
+	// request is flushed as soon as the collector picks it up.
+	Window time.Duration
+	// MaxNodes flushes a batch as soon as its unique node count reaches
+	// this cap (a single over-sized request still runs in one batch).
+	// Zero means no size cap.
+	MaxNodes int
+}
+
+// Batcher coalesces concurrent Predict calls into shared forward
+// passes. Requests arriving within one window (or until the size cap)
+// are merged: their node sets are deduplicated, one forward pass runs,
+// and each caller gets back exactly its own nodes' predictions. Because
+// the gather is full-neighborhood and the kernels have fixed reduction
+// order, coalescing is invisible in the results — only in the latency.
+type Batcher struct {
+	inf  *Inferencer
+	cfg  BatcherConfig
+	reqs chan *batchRequest
+	quit chan struct{} // closed by Close to start the drain
+	done chan struct{} // closed by the collector after the drain
+
+	closeOnce sync.Once
+
+	mu    sync.Mutex
+	stats batcherCounters
+}
+
+type batcherCounters struct {
+	requests, batches, nodesServed     int64
+	flushWindow, flushSize, flushDrain int64
+	maxBatchNodes                      int
+	latencySumMicros, latencyMaxMicros int64
+}
+
+// BatcherStats is a snapshot of the batcher counters for /statz.
+type BatcherStats struct {
+	Requests          int64   `json:"requests"`
+	Batches           int64   `json:"batches"`
+	NodesServed       int64   `json:"nodes_served"`
+	FlushWindow       int64   `json:"flush_window"`
+	FlushSize         int64   `json:"flush_size"`
+	FlushDrain        int64   `json:"flush_drain"`
+	MaxBatchNodes     int     `json:"max_batch_nodes"`
+	MeanBatchNodes    float64 `json:"mean_batch_nodes"`
+	MeanLatencyMicros float64 `json:"mean_latency_micros"`
+	MaxLatencyMicros  int64   `json:"max_latency_micros"`
+}
+
+type batchRequest struct {
+	nodes []graph.NodeID
+	reply chan batchReply
+	enq   time.Time
+}
+
+type batchReply struct {
+	preds []Prediction
+	err   error
+}
+
+// NewBatcher starts the collector goroutine. Call Close to drain it.
+func NewBatcher(inf *Inferencer, cfg BatcherConfig) *Batcher {
+	b := &Batcher{
+		inf:  inf,
+		cfg:  cfg,
+		reqs: make(chan *batchRequest, 256),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Predict submits nodes for classification and blocks until the batch
+// containing them has run. The result has one prediction per requested
+// node, in request order (duplicates within a request are answered from
+// the same forward-pass row).
+func (b *Batcher) Predict(nodes []graph.NodeID) ([]Prediction, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	n := b.inf.NumNodes()
+	for _, v := range nodes {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadRequest, v, n)
+		}
+	}
+	r := &batchRequest{nodes: nodes, reply: make(chan batchReply, 1), enq: time.Now()}
+	select {
+	case <-b.done:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case b.reqs <- r:
+	case <-b.done:
+		return nil, ErrClosed
+	}
+	select {
+	case rep := <-r.reply:
+		return rep.preds, rep.err
+	case <-b.done:
+		// The collector exited. If this request made the drain flush its
+		// reply is already buffered; otherwise it was never picked up.
+		select {
+		case rep := <-r.reply:
+			return rep.preds, rep.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close drains the batcher: queued and in-flight requests are answered,
+// then the collector exits. Safe to call more than once. Predict calls
+// racing Close either join the drain flush or get ErrClosed.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+// Stats returns a snapshot of the batcher counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.stats
+	s := BatcherStats{
+		Requests:         c.requests,
+		Batches:          c.batches,
+		NodesServed:      c.nodesServed,
+		FlushWindow:      c.flushWindow,
+		FlushSize:        c.flushSize,
+		FlushDrain:       c.flushDrain,
+		MaxBatchNodes:    c.maxBatchNodes,
+		MaxLatencyMicros: c.latencyMaxMicros,
+	}
+	if c.batches > 0 {
+		s.MeanBatchNodes = float64(c.nodesServed) / float64(c.batches)
+	}
+	if c.requests > 0 {
+		s.MeanLatencyMicros = float64(c.latencySumMicros) / float64(c.requests)
+	}
+	return s
+}
+
+const (
+	flushCauseWindow = iota
+	flushCauseSize
+	flushCauseDrain
+)
+
+func (b *Batcher) collect() {
+	defer close(b.done)
+	var (
+		pending []*batchRequest
+		unique  = make(map[graph.NodeID]struct{})
+		timer   *time.Timer
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+	}
+	flush := func(cause int) {
+		stopTimer()
+		if len(pending) > 0 {
+			b.runBatch(pending, cause)
+			pending = nil
+			unique = make(map[graph.NodeID]struct{})
+		}
+	}
+	add := func(r *batchRequest) {
+		pending = append(pending, r)
+		for _, v := range r.nodes {
+			unique[v] = struct{}{}
+		}
+		switch {
+		case b.cfg.MaxNodes > 0 && len(unique) >= b.cfg.MaxNodes:
+			flush(flushCauseSize)
+		case b.cfg.Window <= 0:
+			// No coalescing window: an empty queue means nobody to wait
+			// for — flush immediately.
+			flush(flushCauseWindow)
+		case timer == nil:
+			timer = time.NewTimer(b.cfg.Window)
+		}
+	}
+	for {
+		var timerC <-chan time.Time
+		if timer != nil {
+			timerC = timer.C
+		}
+		select {
+		case r := <-b.reqs:
+			add(r)
+		case <-timerC:
+			timer = nil
+			flush(flushCauseWindow)
+		case <-b.quit:
+			// Drain: absorb everything already queued, answer it, exit.
+			for {
+				select {
+				case r := <-b.reqs:
+					pending = append(pending, r)
+				default:
+					flush(flushCauseDrain)
+					return
+				}
+			}
+		}
+	}
+}
+
+// runBatch deduplicates the pending requests' nodes (first-seen order),
+// runs one forward pass, and fans the rows back out per request.
+func (b *Batcher) runBatch(pending []*batchRequest, cause int) {
+	index := make(map[graph.NodeID]int)
+	var nodes []graph.NodeID
+	for _, r := range pending {
+		for _, v := range r.nodes {
+			if _, ok := index[v]; !ok {
+				index[v] = len(nodes)
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	preds, err := b.inf.Predict(nodes)
+	now := time.Now()
+
+	b.mu.Lock()
+	b.stats.batches++
+	b.stats.requests += int64(len(pending))
+	b.stats.nodesServed += int64(len(nodes))
+	if len(nodes) > b.stats.maxBatchNodes {
+		b.stats.maxBatchNodes = len(nodes)
+	}
+	switch cause {
+	case flushCauseWindow:
+		b.stats.flushWindow++
+	case flushCauseSize:
+		b.stats.flushSize++
+	case flushCauseDrain:
+		b.stats.flushDrain++
+	}
+	for _, r := range pending {
+		lat := now.Sub(r.enq).Microseconds()
+		b.stats.latencySumMicros += lat
+		if lat > b.stats.latencyMaxMicros {
+			b.stats.latencyMaxMicros = lat
+		}
+	}
+	b.mu.Unlock()
+
+	for _, r := range pending {
+		if err != nil {
+			r.reply <- batchReply{err: err}
+			continue
+		}
+		out := make([]Prediction, len(r.nodes))
+		for i, v := range r.nodes {
+			out[i] = preds[index[v]]
+		}
+		r.reply <- batchReply{preds: out}
+	}
+}

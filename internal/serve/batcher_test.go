@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"argo/internal/graph"
+)
+
+func batcherFixture(t *testing.T, cfg BatcherConfig) (*Batcher, *Inferencer, func()) {
+	t.Helper()
+	ds, m, _ := serveFixture(t)
+	inf, err := NewInferencer(InferencerOptions{
+		Model:    m,
+		Graph:    ds.Graph,
+		Features: NewMatrixFeatureSource(ds.Features),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(inf, cfg)
+	return b, inf, b.Close
+}
+
+// Determinism across batch compositions: three requests coalesced into
+// one batch produce exactly the logits each would get alone.
+func TestBatcherCoalescedMatchesSolo(t *testing.T) {
+	reqs := [][]graph.NodeID{{1, 2, 3}, {3, 50}, {100}}
+	// Reference: each request served alone (window 0 → no coalescing).
+	solo, _, closeSolo := batcherFixture(t, BatcherConfig{})
+	want := make([][]Prediction, len(reqs))
+	for i, r := range reqs {
+		p, err := solo.Predict(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	closeSolo()
+	// Coalesced: a wide window, concurrent submission, one shared pass.
+	b, _, closeB := batcherFixture(t, BatcherConfig{Window: 200 * time.Millisecond})
+	defer closeB()
+	got := make([][]Prediction, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r []graph.NodeID) {
+			defer wg.Done()
+			got[i], errs[i] = b.Predict(r)
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("request %d: %d predictions, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j].Node != want[i][j].Node || !logitsEqual(got[i][j].Logits, want[i][j].Logits) {
+				t.Fatalf("request %d node %d: coalesced logits differ from solo", i, want[i][j].Node)
+			}
+		}
+	}
+	s := b.Stats()
+	if s.Requests != 3 {
+		t.Fatalf("requests = %d, want 3", s.Requests)
+	}
+	if s.Batches >= 3 {
+		t.Fatalf("batches = %d: nothing was coalesced", s.Batches)
+	}
+	// Node 3 appears in two requests but is forwarded once per batch.
+	if s.NodesServed >= 7 {
+		t.Fatalf("nodes served = %d: cross-request dedup did not happen", s.NodesServed)
+	}
+	if s.MeanLatencyMicros <= 0 {
+		t.Fatal("latency accounting missing")
+	}
+}
+
+// The size cap flushes without waiting for the window.
+func TestBatcherSizeCapFlushes(t *testing.T) {
+	b, _, closeB := batcherFixture(t, BatcherConfig{Window: time.Hour, MaxNodes: 2})
+	defer closeB()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Predict([]graph.NodeID{4, 5, 6}) // one request over the cap: one batch
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("size-capped batch never flushed (window is an hour)")
+	}
+	s := b.Stats()
+	if s.FlushSize != 1 || s.FlushWindow != 0 {
+		t.Fatalf("flush causes size=%d window=%d, want 1/0", s.FlushSize, s.FlushWindow)
+	}
+	if s.MaxBatchNodes != 3 {
+		t.Fatalf("max batch nodes = %d, want 3 (oversized request still runs whole)", s.MaxBatchNodes)
+	}
+}
+
+// The window flushes a sub-cap batch.
+func TestBatcherWindowFlushes(t *testing.T) {
+	b, _, closeB := batcherFixture(t, BatcherConfig{Window: 10 * time.Millisecond, MaxNodes: 1000})
+	defer closeB()
+	start := time.Now()
+	if _, err := b.Predict([]graph.NodeID{8}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("window flush took %v", elapsed)
+	}
+	if s := b.Stats(); s.FlushWindow != 1 {
+		t.Fatalf("flush causes = %+v, want one window flush", s)
+	}
+}
+
+// Graceful drain: queued work is answered, later calls are refused.
+func TestBatcherDrain(t *testing.T) {
+	b, _, _ := batcherFixture(t, BatcherConfig{Window: time.Hour, MaxNodes: 1000})
+	// Enqueue directly so the request is provably in flight before Close
+	// (an hour window guarantees it cannot flush on its own).
+	r := &batchRequest{nodes: []graph.NodeID{9}, reply: make(chan batchReply, 1), enq: time.Now()}
+	b.reqs <- r
+	b.Close()
+	rep := <-r.reply
+	if rep.err != nil {
+		t.Fatalf("in-flight request must be answered during drain, got %v", rep.err)
+	}
+	if len(rep.preds) != 1 || rep.preds[0].Node != 9 {
+		t.Fatalf("drain flush answered %+v", rep.preds)
+	}
+	if s := b.Stats(); s.FlushDrain != 1 {
+		t.Fatalf("flush causes = %+v, want one drain flush", s)
+	}
+	if _, err := b.Predict([]graph.NodeID{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Predict = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBatcherRejectsOutOfRange(t *testing.T) {
+	b, inf, closeB := batcherFixture(t, BatcherConfig{})
+	defer closeB()
+	if _, err := b.Predict([]graph.NodeID{graph.NodeID(inf.NumNodes())}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("out-of-range node: %v, want ErrBadRequest", err)
+	}
+	if _, err := b.Predict([]graph.NodeID{-1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative node: %v, want ErrBadRequest", err)
+	}
+	if p, err := b.Predict(nil); p != nil || err != nil {
+		t.Fatal("empty request should be a cheap no-op")
+	}
+}
+
+// Duplicate nodes within one request are answered from the same row.
+func TestBatcherDuplicateNodesInRequest(t *testing.T) {
+	b, _, closeB := batcherFixture(t, BatcherConfig{})
+	defer closeB()
+	p, err := b.Predict([]graph.NodeID{5, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0].Node != 5 || p[1].Node != 5 || !logitsEqual(p[0].Logits, p[1].Logits) {
+		t.Fatalf("duplicate handling wrong: %+v", p)
+	}
+}

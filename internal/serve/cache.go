@@ -1,0 +1,141 @@
+// Package serve is ARGO's inference subsystem: a checkpoint-backed GNN
+// prediction server over a lazy or sharded .argograph store. Training
+// (the rest of the repo) produces a checkpoint; this package answers
+// node-classification queries against it at user-traffic scale, with a
+// per-request full-neighborhood k-hop gather, cross-request
+// micro-batching, and an LRU hot-node feature cache. The cache exploits
+// query skew: real query streams are Zipf-distributed (a small popular
+// set absorbs most traffic), so the rows those queries' neighborhoods
+// keep re-fetching stay resident while the long tail pays the store
+// read.
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"argo/internal/graph"
+)
+
+// cacheEntryOverheadBytes approximates the per-entry bookkeeping cost
+// (list element, map slot, header) charged against the cache budget, so
+// a byte budget remains honest for narrow feature rows.
+const cacheEntryOverheadBytes = 64
+
+// FeatureCache is a byte-bounded LRU cache of feature rows keyed by
+// global node id. It is safe for concurrent use; hit/miss/eviction
+// counters feed the server's /statz endpoint.
+type FeatureCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[graph.NodeID]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	id  graph.NodeID
+	row []float32
+}
+
+// NewFeatureCache returns a cache bounded at capBytes (counting row
+// payloads plus a fixed per-entry overhead). capBytes <= 0 disables
+// caching: Get always misses and Put is a no-op.
+func NewFeatureCache(capBytes int64) *FeatureCache {
+	return &FeatureCache{
+		capBytes: capBytes,
+		ll:       list.New(),
+		items:    make(map[graph.NodeID]*list.Element),
+	}
+}
+
+func entrySize(row []float32) int64 {
+	return int64(len(row))*4 + cacheEntryOverheadBytes
+}
+
+// Get copies node id's cached row into dst (grown as needed) and
+// returns it, or (nil, false) on a miss. The copy means callers can
+// never alias — and never mutate — cached storage.
+func (c *FeatureCache) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	row := el.Value.(*cacheEntry).row
+	if cap(dst) < len(row) {
+		dst = make([]float32, len(row))
+	}
+	dst = dst[:len(row)]
+	copy(dst, row)
+	return dst, true
+}
+
+// Put inserts (or refreshes) node id's row, copying it into
+// cache-owned storage, then evicts from the LRU tail until the byte
+// budget holds. A row larger than the whole budget is not cached.
+func (c *FeatureCache) Put(id graph.NodeID, row []float32) {
+	size := entrySize(row)
+	if c.capBytes <= 0 || size > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		// Refresh: same store, same dim — the row bytes are a pure
+		// function of the node id, so just bump recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	own := make([]float32, len(row))
+	copy(own, row)
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, row: own})
+	c.used += size
+	for c.used > c.capBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, ent.id)
+		c.used -= entrySize(ent.row)
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, shaped
+// for /statz JSON.
+type CacheStats struct {
+	CapBytes  int64   `json:"cap_bytes"`
+	UsedBytes int64   `json:"used_bytes"`
+	Entries   int     `json:"entries"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *FeatureCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		CapBytes:  c.capBytes,
+		UsedBytes: c.used,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"testing"
+)
+
+func row(vals ...float32) []float32 { return vals }
+
+func TestFeatureCacheHitMissEvict(t *testing.T) {
+	// Two 4-float rows fit; the third evicts the LRU one.
+	capBytes := 2 * (4*4 + cacheEntryOverheadBytes)
+	c := NewFeatureCache(int64(capBytes))
+	if _, ok := c.Get(1, nil); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put(1, row(1, 1, 1, 1))
+	c.Put(2, row(2, 2, 2, 2))
+	got, ok := c.Get(1, nil)
+	if !ok || got[0] != 1 {
+		t.Fatalf("hit on 1: ok=%v got=%v", ok, got)
+	}
+	// 1 is now MRU; inserting 3 must evict 2.
+	c.Put(3, row(3, 3, 3, 3))
+	if _, ok := c.Get(2, nil); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if _, ok := c.Get(1, nil); !ok {
+		t.Fatal("1 should have survived (recently used)")
+	}
+	if _, ok := c.Get(3, nil); !ok {
+		t.Fatal("3 should be cached")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 3 || s.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 3/2", s.Hits, s.Misses)
+	}
+	if s.Entries != 2 || s.UsedBytes > s.CapBytes {
+		t.Fatalf("entries=%d used=%d cap=%d", s.Entries, s.UsedBytes, s.CapBytes)
+	}
+}
+
+func TestFeatureCacheCopiesBothWays(t *testing.T) {
+	c := NewFeatureCache(1 << 20)
+	src := row(1, 2, 3)
+	c.Put(7, src)
+	src[0] = 99 // caller mutates its slice after Put
+	got, ok := c.Get(7, nil)
+	if !ok || got[0] != 1 {
+		t.Fatalf("cache must own its storage: got %v", got)
+	}
+	got[1] = 99 // caller mutates the returned slice
+	again, _ := c.Get(7, nil)
+	if again[1] != 2 {
+		t.Fatalf("Get must return a copy: got %v", again)
+	}
+	// dst reuse path.
+	dst := make([]float32, 3)
+	out, ok := c.Get(7, dst)
+	if !ok || &out[0] != &dst[0] {
+		t.Fatal("Get should fill the provided dst when it fits")
+	}
+}
+
+func TestFeatureCacheDisabledAndOversized(t *testing.T) {
+	off := NewFeatureCache(0)
+	off.Put(1, row(1))
+	if _, ok := off.Get(1, nil); ok {
+		t.Fatal("capBytes<=0 must disable caching")
+	}
+	small := NewFeatureCache(8) // smaller than any entry
+	small.Put(1, row(1))
+	if s := small.Stats(); s.Entries != 0 {
+		t.Fatal("oversized rows must not be cached")
+	}
+}
+
+func TestFeatureCacheRefreshBumpsRecency(t *testing.T) {
+	capBytes := 2 * (4 + cacheEntryOverheadBytes)
+	c := NewFeatureCache(int64(capBytes))
+	c.Put(1, row(1))
+	c.Put(2, row(2))
+	c.Put(1, row(1)) // refresh: 1 becomes MRU without growing the cache
+	c.Put(3, row(3)) // must evict 2, not 1
+	if _, ok := c.Get(1, nil); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+	if _, ok := c.Get(2, nil); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+// FeatureSource serves single feature rows by global node id — the
+// row-granular seam the serving path reads through, so a store much
+// larger than RAM can back an inference server. Implementations must be
+// safe for concurrent use.
+type FeatureSource interface {
+	// Row copies node id's feature row into dst (grown as needed) and
+	// returns it.
+	Row(id graph.NodeID, dst []float32) ([]float32, error)
+	// Dim returns the feature width.
+	Dim() int
+}
+
+// lazySource reads rows straight from a LazyDataset section
+// (mmap slice or pread per row; never the whole matrix).
+type lazySource struct{ lz *graph.LazyDataset }
+
+func (s lazySource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
+	return s.lz.FeatureRow(int(id), dst)
+}
+
+func (s lazySource) Dim() int { return s.lz.FeatureDim() }
+
+// NewLazyFeatureSource serves rows from an opened store.
+func NewLazyFeatureSource(lz *graph.LazyDataset) FeatureSource { return lazySource{lz} }
+
+// shardSource routes each row read to the shard that owns the node,
+// through that shard store's own row-granular reader. Only the
+// shardmap sections are materialised up front; feature bytes are read
+// row by row on demand.
+type shardSource struct {
+	ss   *graph.ShardSet
+	maps []*graph.ShardMap
+	dim  int
+}
+
+// NewShardFeatureSource builds a row source over a shard set.
+func NewShardFeatureSource(ss *graph.ShardSet) (FeatureSource, error) {
+	src := &shardSource{ss: ss, dim: ss.Manifest.FeatDim, maps: make([]*graph.ShardMap, ss.K())}
+	for i := 0; i < ss.K(); i++ {
+		sm, err := ss.ShardMap(i)
+		if err != nil {
+			return nil, err
+		}
+		src.maps[i] = sm
+	}
+	return src, nil
+}
+
+func (s *shardSource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
+	owner, err := s.ss.Owner(id)
+	if err != nil {
+		return nil, err
+	}
+	local := s.maps[owner].LocalID(id)
+	if local < 0 {
+		return nil, fmt.Errorf("serve: node %d not mapped by its owning shard %d", id, owner)
+	}
+	lz, err := s.ss.Shard(owner)
+	if err != nil {
+		return nil, err
+	}
+	return lz.FeatureRow(int(local), dst)
+}
+
+func (s *shardSource) Dim() int { return s.dim }
+
+// matrixSource serves rows from a materialised feature matrix — the
+// reference path the bit-match gates compare against, and the fast path
+// for stores small enough to hold in memory.
+type matrixSource struct{ m *tensor.Matrix }
+
+// NewMatrixFeatureSource serves rows from an in-memory matrix.
+func NewMatrixFeatureSource(m *tensor.Matrix) FeatureSource { return matrixSource{m} }
+
+func (s matrixSource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
+	if id < 0 || int(id) >= s.m.Rows {
+		return nil, fmt.Errorf("serve: feature row %d outside [0,%d)", id, s.m.Rows)
+	}
+	if cap(dst) < s.m.Cols {
+		dst = make([]float32, s.m.Cols)
+	}
+	dst = dst[:s.m.Cols]
+	copy(dst, s.m.Row(int(id)))
+	return dst, nil
+}
+
+func (s matrixSource) Dim() int { return s.m.Cols }
+
+// Prediction is one node's answer: the argmax label plus the raw logits
+// (so callers can threshold or rank themselves).
+type Prediction struct {
+	Node   graph.NodeID `json:"node"`
+	Label  int          `json:"label"`
+	Logits []float32    `json:"logits"`
+}
+
+// Inferencer answers node-classification queries: a deterministic
+// full-neighborhood k-hop gather feeding one forward pass of the
+// checkpointed model. Feature rows come from the FeatureSource through
+// the optional hot-node cache. Predict calls are serialised internally
+// (the model caches per-batch activations), which is exactly how the
+// micro-batcher drives it — one coalesced batch at a time.
+type Inferencer struct {
+	mu     sync.Mutex
+	model  *nn.GNN
+	graph  *graph.CSR
+	gather *sampler.FullNeighbor
+	feats  FeatureSource
+	cache  *FeatureCache
+	pool   *tensor.Pool
+	// scratch row reused across gathers (Predict is serialised).
+	scratch []float32
+}
+
+// InferencerOptions configures NewInferencer.
+type InferencerOptions struct {
+	Model    *nn.GNN
+	Graph    *graph.CSR
+	Features FeatureSource
+	// Cache, when non-nil, fronts Features with an LRU hot-node cache.
+	Cache *FeatureCache
+	// Workers bounds the tensor worker pool (default 1). Per-row kernel
+	// results are worker-count-independent, so this is performance-only.
+	Workers int
+}
+
+// NewInferencer validates the pieces and builds an inferencer.
+func NewInferencer(opt InferencerOptions) (*Inferencer, error) {
+	if opt.Model == nil || opt.Graph == nil || opt.Features == nil {
+		return nil, fmt.Errorf("serve: model, graph, and features are required")
+	}
+	if opt.Features.Dim() != opt.Model.Spec.Dims[0] {
+		return nil, fmt.Errorf("serve: feature dim %d, model expects %d", opt.Features.Dim(), opt.Model.Spec.Dims[0])
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Inferencer{
+		model:   opt.Model,
+		graph:   opt.Graph,
+		gather:  sampler.NewFullNeighbor(opt.Graph, opt.Model.NumLayers()),
+		feats:   opt.Features,
+		cache:   opt.Cache,
+		pool:    tensor.NewPool(workers),
+		scratch: make([]float32, opt.Features.Dim()),
+	}, nil
+}
+
+// NumNodes returns the served graph's node count (for request
+// validation).
+func (inf *Inferencer) NumNodes() int { return inf.graph.NumNodes }
+
+// NumClasses returns the model's output width.
+func (inf *Inferencer) NumClasses() int { return inf.model.Spec.Dims[len(inf.model.Spec.Dims)-1] }
+
+// Predict runs one forward pass for the given nodes (which must be
+// unique and in range) and returns one prediction per node, in order.
+// Logits are a pure function of (model, graph, features, node): batch
+// composition cannot change them.
+func (inf *Inferencer) Predict(nodes []graph.NodeID) ([]Prediction, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	inf.mu.Lock()
+	defer inf.mu.Unlock()
+	mb := inf.gather.Sample(nil, nodes)
+	x0, err := inf.gatherFeatures(mb.InputNodes())
+	if err != nil {
+		return nil, err
+	}
+	logits := inf.model.Forward(inf.pool, mb, x0)
+	preds := make([]Prediction, len(nodes))
+	for i, v := range nodes {
+		row := logits.Row(i)
+		preds[i] = Prediction{Node: v, Label: argmax(row), Logits: append([]float32(nil), row...)}
+	}
+	return preds, nil
+}
+
+// gatherFeatures assembles the layer-0 input matrix row by row through
+// the cache. Only rows absent from the cache touch the FeatureSource.
+func (inf *Inferencer) gatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
+	dim := inf.feats.Dim()
+	x0 := tensor.New(len(ids), dim)
+	for i, v := range ids {
+		dst := x0.Row(i)
+		if inf.cache != nil {
+			if _, ok := inf.cache.Get(v, dst); ok {
+				continue
+			}
+		}
+		row, err := inf.feats.Row(v, inf.scratch)
+		if err != nil {
+			return nil, err
+		}
+		inf.scratch = row
+		copy(dst, row)
+		if inf.cache != nil {
+			inf.cache.Put(v, row)
+		}
+	}
+	return x0, nil
+}
+
+// CacheStats reports the hot-node cache counters (zero value when no
+// cache is configured).
+func (inf *Inferencer) CacheStats() CacheStats {
+	if inf.cache == nil {
+		return CacheStats{}
+	}
+	return inf.cache.Stats()
+}
+
+// argmax returns the index of the row's maximum (first on ties, so the
+// label is deterministic).
+func argmax(row []float32) int {
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// DirectPredict is the reference path the serving stack is pinned
+// against: a single-batch forward pass on a fully materialised dataset,
+// no cache, no batcher, no row-granular reads. CI asserts a served
+// prediction bit-matches this for the same checkpoint and store.
+func DirectPredict(m *nn.GNN, ds *graph.Dataset, nodes []graph.NodeID, workers int) ([]Prediction, error) {
+	inf, err := NewInferencer(InferencerOptions{
+		Model:    m,
+		Graph:    ds.Graph,
+		Features: NewMatrixFeatureSource(ds.Features),
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inf.Predict(nodes)
+}

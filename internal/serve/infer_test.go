@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"argo/internal/datasets"
+	"argo/internal/graph"
+	"argo/internal/nn"
+)
+
+// serveFixture builds the tiny dataset, writes it to a store file, and
+// trains nothing — a seeded model is enough for bit-match testing.
+func serveFixture(t *testing.T) (*graph.Dataset, *nn.GNN, string) {
+	t.Helper()
+	ds, err := datasets.Build("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.NewModel(nn.ModelSpec{
+		Kind: nn.KindSAGE,
+		Dims: []int{ds.Features.Cols, 8, 8, ds.NumClasses},
+		Seed: 7,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return ds, m, path
+}
+
+func logitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The acceptance pin: a prediction served through the full stack (lazy
+// row reads, hot-node cache, any batch composition, any worker count)
+// must bit-match a direct single-batch forward pass on the materialised
+// dataset.
+func TestServedPredictionBitMatchesDirect(t *testing.T) {
+	ds, m, path := serveFixture(t)
+	lz, err := graph.OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	g, err := lz.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferencer(InferencerOptions{
+		Model:    m,
+		Graph:    g,
+		Features: NewLazyFeatureSource(lz),
+		Cache:    NewFeatureCache(1 << 16),
+		Workers:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []graph.NodeID{0, 17, 42, 99, 119}
+	direct, err := DirectPredict(m, ds, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole batch at once.
+	served, err := inf.Predict(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		if served[i].Label != direct[i].Label || !logitsEqual(served[i].Logits, direct[i].Logits) {
+			t.Fatalf("node %d: served %v != direct %v", nodes[i], served[i], direct[i])
+		}
+	}
+	// One node at a time, cache now warm: still bit-identical.
+	for i, v := range nodes {
+		solo, err := inf.Predict([]graph.NodeID{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !logitsEqual(solo[0].Logits, direct[i].Logits) {
+			t.Fatalf("node %d: solo prediction diverges from direct", v)
+		}
+	}
+	if s := inf.CacheStats(); s.Hits == 0 {
+		t.Fatal("warm repeat queries should have hit the cache")
+	}
+}
+
+// The sharded path must serve the same bits as the single-store path.
+func TestShardedServingBitMatchesDirect(t *testing.T) {
+	ds, m, _ := serveFixture(t)
+	dir := t.TempDir()
+	_, paths, err := graph.WriteShardSet(ds, dir, "tiny", graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := graph.OpenShardSet(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	g, err := ss.AssembleTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := NewShardFeatureSource(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferencer(InferencerOptions{Model: m, Graph: g, Features: feats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []graph.NodeID{3, 60, 118}
+	direct, err := DirectPredict(m, ds, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := inf.Predict(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		if !logitsEqual(served[i].Logits, direct[i].Logits) {
+			t.Fatalf("node %d: sharded serving diverges from direct", nodes[i])
+		}
+	}
+}
+
+func TestNewInferencerRejectsDimMismatch(t *testing.T) {
+	ds, _, _ := serveFixture(t)
+	wrong, err := nn.NewModel(nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{ds.Features.Cols + 1, 4, ds.NumClasses}, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewInferencer(InferencerOptions{
+		Model:    wrong,
+		Graph:    ds.Graph,
+		Features: NewMatrixFeatureSource(ds.Features),
+	})
+	if err == nil {
+		t.Fatal("feature-dim mismatch must be rejected")
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"argo/internal/graph"
+)
+
+// maxPredictNodes bounds one request's node list so a single caller
+// cannot force an unbounded gather.
+const maxPredictNodes = 4096
+
+// PredictRequest is the /v1/predict body.
+type PredictRequest struct {
+	Nodes []graph.NodeID `json:"nodes"`
+}
+
+// PredictResponse is the /v1/predict answer: one prediction per
+// requested node, in request order.
+type PredictResponse struct {
+	Predictions []Prediction `json:"predictions"`
+}
+
+// StatzResponse is the /statz answer.
+type StatzResponse struct {
+	Model         string       `json:"model"`
+	Layers        int          `json:"layers"`
+	NumNodes      int          `json:"num_nodes"`
+	NumClasses    int          `json:"num_classes"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      int64        `json:"http_requests"`
+	Cache         CacheStats   `json:"cache"`
+	Batcher       BatcherStats `json:"batcher"`
+}
+
+// Server is the HTTP face of the serving stack: it owns a batcher over
+// an inferencer and exposes /v1/predict, /healthz, and /statz.
+type Server struct {
+	inf     *Inferencer
+	batcher *Batcher
+	mux     *http.ServeMux
+	kind    string
+	started time.Time
+	reqs    atomic.Int64
+}
+
+// NewServer wires the handler around an inferencer. modelKind is a
+// label for /statz (e.g. "sage").
+func NewServer(inf *Inferencer, cfg BatcherConfig, modelKind string) *Server {
+	s := &Server{
+		inf:     inf,
+		batcher: NewBatcher(inf, cfg),
+		mux:     http.NewServeMux(),
+		kind:    modelKind,
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Batcher exposes the batcher (benchmarks drive it directly to measure
+// the serving stack without HTTP overhead).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Close drains the batcher: in-flight requests finish, new predict
+// calls get 503. Call after http.Server.Shutdown.
+func (s *Server) Close() { s.batcher.Close() }
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.reqs.Add(1)
+	var req PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Nodes) == 0 {
+		httpError(w, http.StatusBadRequest, "nodes is empty")
+		return
+	}
+	if len(req.Nodes) > maxPredictNodes {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("too many nodes (%d > %d)", len(req.Nodes), maxPredictNodes))
+		return
+	}
+	preds, err := s.batcher.Predict(req.Nodes)
+	switch {
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, ErrBadRequest):
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatzResponse{
+		Model:         s.kind,
+		Layers:        s.inf.model.NumLayers(),
+		NumNodes:      s.inf.NumNodes(),
+		NumClasses:    s.inf.NumClasses(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.reqs.Load(),
+		Cache:         s.inf.CacheStats(),
+		Batcher:       s.batcher.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+
+	"argo/internal/datasets"
+	"argo/internal/graph"
+)
+
+func TestGeneratorsAreSeededAndDeterministic(t *testing.T) {
+	ds, err := datasets.Build("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	za, err := NewZipfGenerator(ds.Graph, 42, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, _ := NewZipfGenerator(ds.Graph, 42, 1.2)
+	ua, _ := NewUniformGenerator(ds.Graph.NumNodes, 42)
+	ub, _ := NewUniformGenerator(ds.Graph.NumNodes, 42)
+	for i := 0; i < 200; i++ {
+		if za.Next() != zb.Next() {
+			t.Fatal("zipf generator not deterministic for a fixed seed")
+		}
+		if ua.Next() != ub.Next() {
+			t.Fatal("uniform generator not deterministic for a fixed seed")
+		}
+	}
+}
+
+// The property the cache benchmark rests on: a Zipf stream concentrates
+// its queries on far fewer distinct nodes than a uniform one.
+func TestZipfStreamIsSkewed(t *testing.T) {
+	ds, err := datasets.Build("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 2000
+	distinct := func(gen Generator) int {
+		seen := make(map[graph.NodeID]struct{})
+		for i := 0; i < draws; i++ {
+			v := gen.Next()
+			if v < 0 || int(v) >= ds.Graph.NumNodes {
+				t.Fatalf("generated node %d out of range", v)
+			}
+			seen[v] = struct{}{}
+		}
+		return len(seen)
+	}
+	z, err := NewZipfGenerator(ds.Graph, 7, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := NewUniformGenerator(ds.Graph.NumNodes, 7)
+	zd, ud := distinct(z), distinct(u)
+	if zd >= ud {
+		t.Fatalf("zipf touched %d distinct nodes, uniform %d: no skew", zd, ud)
+	}
+}
+
+func TestZipfGeneratorRejectsBadSkew(t *testing.T) {
+	ds, err := datasets.Build("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewZipfGenerator(ds.Graph, 1, 1.0); err == nil {
+		t.Fatal("s <= 1 must be rejected")
+	}
+}
+
+func TestNextBatchIsUnique(t *testing.T) {
+	ds, err := datasets.Build("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := NewZipfGenerator(ds.Graph, 3, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := NextBatch(z, 16)
+	if len(batch) != 16 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	seen := make(map[graph.NodeID]struct{})
+	for _, v := range batch {
+		if _, ok := seen[v]; ok {
+			t.Fatalf("duplicate node %d in batch", v)
+		}
+		seen[v] = struct{}{}
+	}
+}
