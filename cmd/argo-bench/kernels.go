@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+	"argo/internal/tensor"
+)
+
+// kernelsBench is the "kernels" section of BENCH_argo.json: the
+// degree-aware chunking's load-balance metrics on a synthetic power-law
+// graph, plus wall-clock for the pooled forward/fused-inference paths.
+// The balance metrics are a pure function of (graph seed, workers) —
+// chunk boundaries are deterministic — so CI can gate on them even on a
+// single-core runner where parallel wall-clock means nothing; timing
+// fields are zeroed under -stable.
+type kernelsBench struct {
+	Graph   string `json:"graph"`
+	Nodes   int    `json:"nodes"`
+	Edges   int64  `json:"edges"` // stored arcs
+	Workers int    `json:"workers"`
+
+	// Load balance over the per-row aggregation cost (1 + degree).
+	// FixedMaxChunkCost is the heaviest chunk under the old equal-count
+	// split into workers chunks; WeightedMaxChunkCost is the heaviest
+	// chunk under the cost-quantile split with work-stealing
+	// oversubscription. Their ratio is the worst-case speedup headroom
+	// the weighted dispatch recovers on this skew.
+	TotalCost            int64   `json:"total_cost"`
+	MaxRowCost           int64   `json:"max_row_cost"`
+	Chunks               int     `json:"chunks"`
+	FixedMaxChunkCost    int64   `json:"fixed_max_chunk_cost"`
+	WeightedMaxChunkCost int64   `json:"weighted_max_chunk_cost"`
+	BalanceGain          float64 `json:"balance_gain"`
+
+	// Wall-clock (zeroed under -stable): one steady-state pooled
+	// Forward and fused Infer pass of a 2-layer SAGE over a 1024-target
+	// full-neighbor batch.
+	BatchTargets   int     `json:"batch_targets"`
+	ForwardSeconds float64 `json:"forward_seconds"`
+	InferSeconds   float64 `json:"infer_seconds"`
+}
+
+// maxChunkCost sums cost over each [bounds[k], bounds[k+1]) chunk and
+// returns the heaviest.
+func maxChunkCost(bounds []int, cost func(i int) int) int64 {
+	var worst int64
+	for k := 1; k < len(bounds); k++ {
+		var s int64
+		for i := bounds[k-1]; i < bounds[k]; i++ {
+			s += int64(cost(i))
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// benchKernels generates a deterministic power-law graph, measures the
+// chunk balance of the fixed vs weighted splits at the requested worker
+// count, times the pooled forward and fused inference paths, and merges
+// a "kernels" section into jsonPath.
+func benchKernels(workers int, jsonPath string, stable bool, w *os.File) error {
+	if workers < 1 {
+		workers = 1
+	}
+	const (
+		numNodes = 20000
+		numEdges = 200000
+		seed     = 42
+	)
+	g, _, err := graph.Generate(graph.GenSpec{
+		NumNodes:   numNodes,
+		NumEdges:   numEdges,
+		NumClasses: 5,
+		Exponent:   2.1,
+		MinDegree:  1,
+		Homophily:  0.5,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	cost := func(i int) int { return 1 + g.Degree(graph.NodeID(i)) }
+	var total, maxRow int64
+	for i := 0; i < g.NumNodes; i++ {
+		c := int64(cost(i))
+		total += c
+		if c > maxRow {
+			maxRow = c
+		}
+	}
+	// The fixed baseline is ParallelRange's equal-count split into
+	// workers chunks; the weighted split oversubscribes (work-stealing)
+	// and cuts at cost quantiles, so its heaviest chunk bounds the
+	// critical path under stealing.
+	fixed := tensor.SplitWeighted(g.NumNodes, workers, nil)
+	weighted := tensor.SplitWeighted(g.NumNodes, workers*tensor.StealFactor, cost)
+	row := kernelsBench{
+		Graph:                fmt.Sprintf("powerlaw-n%d-e%d-s%d", numNodes, numEdges, seed),
+		Nodes:                g.NumNodes,
+		Edges:                g.NumEdges(),
+		Workers:              workers,
+		TotalCost:            total,
+		MaxRowCost:           maxRow,
+		Chunks:               len(weighted) - 1,
+		FixedMaxChunkCost:    maxChunkCost(fixed, cost),
+		WeightedMaxChunkCost: maxChunkCost(weighted, cost),
+		BatchTargets:         1024,
+	}
+	if row.WeightedMaxChunkCost > 0 {
+		row.BalanceGain = float64(row.FixedMaxChunkCost) / float64(row.WeightedMaxChunkCost)
+	}
+
+	// Wall-clock of the end-to-end kernels (meaningful only on
+	// multi-core hosts; CI gates on the balance metrics above instead).
+	targets := make([]graph.NodeID, row.BatchTargets)
+	for i := range targets {
+		targets[i] = graph.NodeID(i * 3)
+	}
+	mb := sampler.NewFullNeighbor(g, 2).Sample(nil, targets)
+	m, err := nn.NewModel(nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{64, 32, 8}, Seed: seed}, nil)
+	if err != nil {
+		return err
+	}
+	feats := tensor.New(g.NumNodes, 64)
+	for i := range feats.Data {
+		feats.Data[i] = float32(i%17) * 0.1
+	}
+	pool := tensor.NewPool(workers)
+	bufs := m.Buffers()
+	x0 := nn.GatherPooled(bufs, feats, mb.InputNodes())
+	m.Forward(pool, mb, x0) // warm the buffer pool
+	const reps = 3
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		m.Forward(pool, mb, x0)
+	}
+	row.ForwardSeconds = time.Since(start).Seconds() / reps
+	bufs.Put(m.Infer(pool, mb, x0)) // warm
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		bufs.Put(m.Infer(pool, mb, x0))
+	}
+	row.InferSeconds = time.Since(start).Seconds() / reps
+	bufs.Put(x0)
+	if stable {
+		row.ForwardSeconds = 0
+		row.InferSeconds = 0
+	}
+
+	// Merge: keep whatever sections are already in the artifact.
+	var out mergedBench
+	if raw, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", jsonPath, err)
+		}
+	}
+	out.Kernels = &row
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "kernels: %s, %d workers: max chunk cost %d fixed → %d weighted (%.2f× better balance, %d chunks) merged into %s\n",
+		row.Graph, workers, row.FixedMaxChunkCost, row.WeightedMaxChunkCost, row.BalanceGain, row.Chunks, jsonPath)
+	return nil
+}

@@ -177,6 +177,10 @@ func main() {
 	serveReqNodes := flag.Int("req-nodes", 4, "serving benchmark: nodes per predict request")
 	serveRate := flag.Float64("rate", 0, "serving benchmark: open-loop request rate in req/s (0 = closed loop)")
 	serveCacheBytes := flag.Int64("cache-bytes", 64<<10, "serving benchmark: hot-node feature cache budget")
+	kernelsFlag := flag.Bool("kernels", false,
+		"run the kernel benchmark (degree-aware chunk balance + pooled forward timings on a synthetic power-law graph) and merge a \"kernels\" section into the JSON artifact")
+	kernelWorkers := flag.Int("kernel-workers", 8,
+		"kernel benchmark: worker count the chunk-balance metrics are computed for (machine-independent)")
 	flag.Parse()
 
 	loadMode, err := datasets.ParseLoadMode(*lazyFlag)
@@ -207,6 +211,14 @@ func main() {
 		// so the default -json path is the right destination.
 		if err := benchServe(*datasetFlag, *serveRequests, *serveConcurrency, *serveReqNodes,
 			*serveRate, *serveCacheBytes, *jsonPath, *stable, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernelsFlag {
+		// Like -serve, merges into the strategy artifact.
+		if err := benchKernels(*kernelWorkers, *jsonPath, *stable, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -49,6 +50,7 @@ type mergedBench struct {
 	Epochs     int            `json:"epochs"`
 	Datasets   []datasetBench `json:"datasets"`
 	Serve      []serveBench   `json:"serve,omitempty"`
+	Kernels    *kernelsBench  `json:"kernels,omitempty"`
 }
 
 // benchServe benchmarks the serving stack on each workload dataset
@@ -290,11 +292,21 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 	return row, nil
 }
 
-// percentile reads the q-quantile from sorted (nearest-rank).
+// percentile reads the q-quantile from sorted using the nearest-rank
+// definition: the smallest value with at least q·N observations at or
+// below it, i.e. sorted[ceil(q·N)−1]. The previous int(q·(N−1)) floor
+// read one rank low at small N (e.g. p99 of 100 samples returned the
+// 99th, not the 100th, value).
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }

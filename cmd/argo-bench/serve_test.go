@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.99, 7},
+		{"p50-even", seq(4), 0.50, 2}, // ceil(0.5*4)=2 → 2nd value
+		{"p50-odd", seq(5), 0.50, 3},  // ceil(0.5*5)=3 → 3rd value
+		{"p95-100", seq(100), 0.95, 95},
+		{"p99-100", seq(100), 0.99, 99},
+		{"p100-100", seq(100), 1.00, 100},
+		// The old int(q*(N-1)) floor returned 9 here — one rank low.
+		{"p99-10", seq(10), 0.99, 10}, // ceil(0.99*10)=10 → max
+		{"p95-10", seq(10), 0.95, 10},
+		{"p90-10", seq(10), 0.90, 9},
+		{"q0", seq(10), 0, 1}, // clamped to the first rank
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(q=%g) = %g, want %g", tc.name, tc.q, got, tc.want)
+		}
+	}
+}

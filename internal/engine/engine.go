@@ -120,7 +120,10 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		src := DataSource(datasetSource{cfg.Dataset})
+		// The default source draws gathered batches from the replica's
+		// own buffer pool; step puts them back once consumed, closing
+		// the recycle loop.
+		src := DataSource(datasetSource{ds: cfg.Dataset, bufs: m.Buffers()})
 		if cfg.Sources != nil {
 			src = cfg.Sources[r]
 		}
@@ -317,8 +320,17 @@ func (rep *replica) step(bd batchData) {
 			return
 		}
 	}
-	loss, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
-	rep.model.Backward(rep.trainPool, dLogits)
+	bufs := rep.model.Buffers()
+	loss, dLogits := nn.SoftmaxCrossEntropyPooled(bufs, logits, labels)
+	dX := rep.model.Backward(rep.trainPool, dLogits)
+	// The input gradient is unused here and the gathered features and
+	// logit gradient are consumed; recycling all three through the
+	// replica's buffer pool keeps the steady-state step free of
+	// per-batch matrix allocations (DataSource matrices are
+	// caller-owned by contract).
+	bufs.Put(dX)
+	bufs.Put(dLogits)
+	bufs.Put(x0)
 	rep.lastLoss = loss
 	rep.lastCount = len(mb.Targets)
 	rep.lastStats = mb.Stats
@@ -394,6 +406,7 @@ func (e *Engine) EvaluateErr(ids []graph.NodeID) (float64, error) {
 			return 0, err
 		}
 		correctWeighted += nn.Accuracy(logits, labels) * float64(len(targets))
+		rep.model.Buffers().Put(x0)
 	}
 	return correctWeighted / float64(len(ids)), nil
 }

@@ -192,7 +192,7 @@ func TestShardSourceGradientRouter(t *testing.T) {
 	if collected != len(ids) {
 		t.Fatalf("collected %d gradient rows, scattered %d", collected, len(ids))
 	}
-	if _, ok := DataSource(datasetSource{ds}).(GradientRouter); ok {
+	if _, ok := DataSource(datasetSource{ds: ds}).(GradientRouter); ok {
 		t.Fatal("in-memory source should not claim a reverse path")
 	}
 }

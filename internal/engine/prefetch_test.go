@@ -114,7 +114,7 @@ func TestPrefetcherOrdering(t *testing.T) {
 func TestFetchingPrefetcherAttachesGatheredData(t *testing.T) {
 	ds := testDataset(t)
 	smp := sampler.NewNeighbor(ds.Graph, []int{4, 4})
-	src := datasetSource{ds}
+	src := datasetSource{ds: ds}
 	fetch := func(mb *sampler.MiniBatch) (*tensor.Matrix, []int32, error) {
 		x0, err := src.GatherFeatures(mb.InputNodes())
 		if err != nil {

@@ -17,17 +17,25 @@ import (
 // — same values in, same gradients out — which is what makes sharded
 // training loss-equivalent to single-store training.
 type DataSource interface {
-	// GatherFeatures returns the feature rows of ids, in order.
+	// GatherFeatures returns the feature rows of ids, in order. The
+	// returned matrix is freshly assembled and owned by the caller,
+	// which may recycle it into a buffer pool once consumed.
 	GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error)
 	// TargetLabels returns the labels of ids, in order.
 	TargetLabels(ids []graph.NodeID) ([]int32, error)
 }
 
 // datasetSource serves every replica from the one materialised dataset.
-type datasetSource struct{ ds *graph.Dataset }
+// bufs, when non-nil, recycles gathered batches (the replica puts them
+// back after each step); the pool is concurrency-safe, so the overlap
+// path's sampling-worker gathers can share it with the training step.
+type datasetSource struct {
+	ds   *graph.Dataset
+	bufs *tensor.BufPool
+}
 
 func (s datasetSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
-	return nn.Gather(s.ds.Features, ids), nil
+	return nn.GatherPooled(s.bufs, s.ds.Features, ids), nil
 }
 
 func (s datasetSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {

@@ -22,6 +22,9 @@ type GINLayer struct {
 	Weight        *Param
 	Bias          *Param
 
+	bufs *tensor.BufPool
+	db   []float32
+
 	x   *tensor.Matrix
 	agg *tensor.Matrix
 	out *tensor.Matrix
@@ -41,28 +44,38 @@ func NewGINLayer(rng *rand.Rand, inDim, outDim int, relu bool) *GINLayer {
 // Params implements Layer.
 func (l *GINLayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+func (l *GINLayer) setBufPool(bp *tensor.BufPool) { l.bufs = bp }
+
+// aggRow fills row (width InDim) with destination i's weighted self state
+// plus neighbour sum. Every element is assigned before accumulation, so
+// the scratch row does not need pre-zeroing.
+func (l *GINLayer) aggRow(row []float32, adj Adj, x *tensor.Matrix, i int) {
+	selfW := 1 + l.Epsilon
+	self := x.Row(i)
+	for k, v := range self {
+		row[k] = v * selfW
+	}
+	for _, j := range adj.Neighbors(i) {
+		src := x.Row(int(j))
+		for k, v := range src {
+			row[k] += v
+		}
+	}
+}
+
 // Forward implements Layer.
 func (l *GINLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
 	numDst := adj.NumDst()
 	l.x = x
-	l.agg = tensor.New(numDst, l.InDim)
-	selfW := 1 + l.Epsilon
-	pool.ParallelRange(numDst, func(lo, hi int) {
+	l.bufs.Put(l.agg)
+	l.bufs.Put(l.out)
+	l.agg = l.bufs.Get(numDst, l.InDim)
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := l.agg.Row(i)
-			self := x.Row(i)
-			for k, v := range self {
-				row[k] = v * selfW
-			}
-			for _, j := range adj.Neighbors(i) {
-				src := x.Row(int(j))
-				for k, v := range src {
-					row[k] += v
-				}
-			}
+			l.aggRow(l.agg.Row(i), adj, x, i)
 		}
 	})
-	l.out = tensor.New(numDst, l.OutDim)
+	l.out = l.bufs.Get(numDst, l.OutDim)
 	tensor.MatMul(pool, l.out, l.agg, l.Weight.W)
 	tensor.AddRowVector(l.out, l.Bias.W.Data)
 	if l.Relu {
@@ -71,25 +84,53 @@ func (l *GINLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor
 	return l.out
 }
 
+// Infer implements Layer (fused, forward-only; see SAGELayer.Infer).
+func (l *GINLayer) Infer(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	out := l.bufs.Get(numDst, l.OutDim)
+	w, bias := l.Weight.W, l.Bias.W.Data
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
+		scratch := l.bufs.Get(1, l.InDim)
+		row := scratch.Data
+		for i := lo; i < hi; i++ {
+			l.aggRow(row, adj, x, i)
+			dr := out.Row(i)
+			denseRowMulAdd(dr, row, w, bias)
+			if l.Relu {
+				reluRowInPlace(dr)
+			}
+		}
+		l.bufs.Put(scratch)
+	})
+	return out
+}
+
 // Backward implements Layer.
 func (l *GINLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
 	numDst := adj.NumDst()
 	dZ := dOut
 	if l.Relu {
-		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		dZ = l.bufs.Get(dOut.Rows, dOut.Cols)
 		tensor.ReLUBackward(dZ, dOut, l.out)
 	}
-	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	dW := l.bufs.Get(l.Weight.W.Rows, l.Weight.W.Cols)
 	tensor.MatMulAT(pool, dW, l.agg, dZ)
 	tensor.Add(l.Weight.Grad, dW)
-	db := make([]float32, l.OutDim)
+	l.bufs.Put(dW)
+	if cap(l.db) < l.OutDim {
+		l.db = make([]float32, l.OutDim)
+	}
+	db := l.db[:l.OutDim]
 	tensor.ColSum(db, dZ)
 	for k, v := range db {
 		l.Bias.Grad.Data[k] += v
 	}
-	dAgg := tensor.New(numDst, l.InDim)
+	dAgg := l.bufs.Get(numDst, l.InDim)
 	tensor.MatMulBT(pool, dAgg, dZ, l.Weight.W)
-	dX := tensor.New(adj.NumSrc(), l.InDim)
+	if l.Relu {
+		l.bufs.Put(dZ)
+	}
+	dX := l.bufs.Get(adj.NumSrc(), l.InDim)
 	selfW := 1 + l.Epsilon
 	for i := 0; i < numDst; i++ {
 		dRow := dAgg.Row(i)
@@ -104,5 +145,6 @@ func (l *GINLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *te
 			}
 		}
 	}
+	l.bufs.Put(dAgg)
 	return dX
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -9,13 +10,69 @@ import (
 
 // Layer is one GNN layer: Forward caches whatever Backward needs, so each
 // layer instance belongs to exactly one model replica and processes one
-// batch at a time (matching how the training engine drives it).
+// batch at a time (matching how the training engine drives it). A layer's
+// Forward output is valid until that layer's next Forward or Infer call —
+// with buffer pooling the storage is recycled into the next batch.
 type Layer interface {
 	Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix
 	// Backward consumes the gradient w.r.t. the layer output and returns
 	// the gradient w.r.t. the layer input, accumulating parameter grads.
 	Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix
+	// Infer is the fused forward-only path: same bit-exact math as
+	// Forward, but it neither caches activations for Backward nor
+	// materialises the intermediate aggregation matrix — each row is
+	// aggregated into per-worker scratch and multiplied straight into
+	// the output tile.
+	Infer(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix
 	Params() []*Param
+}
+
+// bufferedLayer is the seam NewModel uses to thread one shared BufPool
+// through every layer of a replica.
+type bufferedLayer interface {
+	setBufPool(bp *tensor.BufPool)
+}
+
+// adjCost returns the per-destination aggregation cost for weighted
+// chunking: 1 (the self term) plus the row's sampled degree. Hub rows
+// get proportionally narrower chunks, so a skewed batch no longer
+// serialises behind the worker that owns the hub.
+func adjCost(adj Adj) func(i int) int {
+	return func(i int) int { return 1 + len(adj.Neighbors(i)) }
+}
+
+// reluRowInPlace applies ReLU to one row with the exact comparison
+// tensor.ReLU uses (v > 0 keeps v, everything else — including NaN and
+// -0 — becomes +0), so fused inference stays bit-identical to Forward.
+func reluRowInPlace(row []float32) {
+	for j, v := range row {
+		if !(v > 0) {
+			row[j] = 0
+		}
+	}
+}
+
+// denseRowMulAdd computes out = row·W + bias with MatMul's exact ikj
+// reduction order (zero the output, skip zero inputs, stream W rows),
+// followed by AddRowVector's bias add — the fused per-row equivalent of
+// the unfused MatMul+AddRowVector pair.
+func denseRowMulAdd(out, row []float32, w *tensor.Matrix, bias []float32) {
+	for j := range out {
+		out[j] = 0
+	}
+	n := w.Cols
+	for p, av := range row {
+		if av == 0 {
+			continue
+		}
+		wr := w.Data[p*n : (p+1)*n]
+		for j, wv := range wr {
+			out[j] += av * wv
+		}
+	}
+	for j, b := range bias {
+		out[j] += b
+	}
 }
 
 // SAGELayer implements GraphSAGE (paper Eq. 2 and 3):
@@ -30,6 +87,9 @@ type SAGELayer struct {
 	Relu          bool
 	Weight        *Param // 2·InDim × OutDim
 	Bias          *Param // 1 × OutDim
+
+	bufs *tensor.BufPool // nil → plain allocation
+	db   []float32       // bias-gradient scratch
 
 	// cached activations from the last Forward
 	x      *tensor.Matrix // layer input (numSrc × InDim)
@@ -52,37 +112,49 @@ func NewSAGELayer(rng *rand.Rand, inDim, outDim int, relu bool) *SAGELayer {
 // Params implements Layer.
 func (l *SAGELayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+func (l *SAGELayer) setBufPool(bp *tensor.BufPool) { l.bufs = bp }
+
+// aggConcatRow fills row (width 2·InDim, zeroed) with destination i's
+// concatenated self state and mean-aggregated neighbourhood.
+func (l *SAGELayer) aggConcatRow(row []float32, adj Adj, x *tensor.Matrix, i int) {
+	in := l.InDim
+	// Self half: destination's own previous-layer state (dst is a
+	// prefix of src, so row i of x is destination i).
+	copy(row[:in], x.Row(i))
+	// Neighbour half: mean aggregation.
+	nbrs := adj.Neighbors(i)
+	if len(nbrs) == 0 {
+		return
+	}
+	agg := row[in:]
+	for _, j := range nbrs {
+		src := x.Row(int(j))
+		for k, v := range src {
+			agg[k] += v
+		}
+	}
+	invDeg := float32(1) / float32(len(nbrs))
+	for k := range agg {
+		agg[k] *= invDeg
+	}
+}
+
 // Forward implements Layer.
 func (l *SAGELayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
 	numDst := adj.NumDst()
 	l.x = x
-	l.concat = tensor.New(numDst, 2*l.InDim)
-	in := l.InDim
-	pool.ParallelRange(numDst, func(lo, hi int) {
+	// Recycle the previous batch's activations: the layer processes one
+	// batch at a time, so by the time Forward runs again the prior
+	// output has been consumed.
+	l.bufs.Put(l.concat)
+	l.bufs.Put(l.out)
+	l.concat = l.bufs.Get(numDst, 2*l.InDim)
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := l.concat.Row(i)
-			// Self half: destination's own previous-layer state (dst is a
-			// prefix of src, so row i of x is destination i).
-			copy(row[:in], x.Row(i))
-			// Neighbour half: mean aggregation.
-			nbrs := adj.Neighbors(i)
-			if len(nbrs) == 0 {
-				continue
-			}
-			agg := row[in:]
-			for _, j := range nbrs {
-				src := x.Row(int(j))
-				for k, v := range src {
-					agg[k] += v
-				}
-			}
-			invDeg := float32(1) / float32(len(nbrs))
-			for k := range agg {
-				agg[k] *= invDeg
-			}
+			l.aggConcatRow(l.concat.Row(i), adj, x, i)
 		}
 	})
-	l.out = tensor.New(numDst, l.OutDim)
+	l.out = l.bufs.Get(numDst, l.OutDim)
 	tensor.MatMul(pool, l.out, l.concat, l.Weight.W)
 	tensor.AddRowVector(l.out, l.Bias.W.Data)
 	if l.Relu {
@@ -91,27 +163,59 @@ func (l *SAGELayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tenso
 	return l.out
 }
 
+// Infer implements Layer: fused aggregate→matmul with per-worker scratch
+// instead of a materialised numDst×2·InDim concat matrix.
+func (l *SAGELayer) Infer(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	numDst := adj.NumDst()
+	out := l.bufs.Get(numDst, l.OutDim)
+	w, bias := l.Weight.W, l.Bias.W.Data
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
+		scratch := l.bufs.Get(1, 2*l.InDim)
+		row := scratch.Data
+		for i := lo; i < hi; i++ {
+			for k := range row {
+				row[k] = 0
+			}
+			l.aggConcatRow(row, adj, x, i)
+			dr := out.Row(i)
+			denseRowMulAdd(dr, row, w, bias)
+			if l.Relu {
+				reluRowInPlace(dr)
+			}
+		}
+		l.bufs.Put(scratch)
+	})
+	return out
+}
+
 // Backward implements Layer.
 func (l *SAGELayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
 	numDst := adj.NumDst()
 	dZ := dOut
 	if l.Relu {
-		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		dZ = l.bufs.Get(dOut.Rows, dOut.Cols)
 		tensor.ReLUBackward(dZ, dOut, l.out)
 	}
 	// Parameter gradients.
-	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	dW := l.bufs.Get(l.Weight.W.Rows, l.Weight.W.Cols)
 	tensor.MatMulAT(pool, dW, l.concat, dZ)
 	tensor.Add(l.Weight.Grad, dW)
-	db := make([]float32, l.OutDim)
+	l.bufs.Put(dW)
+	if cap(l.db) < l.OutDim {
+		l.db = make([]float32, l.OutDim)
+	}
+	db := l.db[:l.OutDim]
 	tensor.ColSum(db, dZ)
 	for k, v := range db {
 		l.Bias.Grad.Data[k] += v
 	}
 	// Input gradient through the concat.
-	dConcat := tensor.New(numDst, 2*l.InDim)
+	dConcat := l.bufs.Get(numDst, 2*l.InDim)
 	tensor.MatMulBT(pool, dConcat, dZ, l.Weight.W)
-	dX := tensor.New(adj.NumSrc(), l.InDim)
+	if l.Relu {
+		l.bufs.Put(dZ)
+	}
+	dX := l.bufs.Get(adj.NumSrc(), l.InDim)
 	in := l.InDim
 	// Self half maps straight onto the dst prefix; the neighbour half
 	// scatter-adds through the mean. The scatter runs serially because
@@ -135,6 +239,7 @@ func (l *SAGELayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *t
 			}
 		}
 	}
+	l.bufs.Put(dConcat)
 	return dX
 }
 
@@ -153,6 +258,9 @@ type GCNLayer struct {
 	Weight        *Param
 	Bias          *Param
 	InvSqrtDeg    []float32 // 1/sqrt(D(v)+1) indexed by global node ID
+
+	bufs *tensor.BufPool
+	db   []float32
 
 	x   *tensor.Matrix
 	agg *tensor.Matrix
@@ -178,31 +286,57 @@ func NewGCNLayer(rng *rand.Rand, inDim, outDim int, relu bool, degrees []int) *G
 // Params implements Layer.
 func (l *GCNLayer) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+func (l *GCNLayer) setBufPool(bp *tensor.BufPool) { l.bufs = bp }
+
+// checkAdj validates that every global node id the batch references is
+// covered by the normalisation table, so a model built for a smaller
+// graph fails with a diagnosable error instead of an index-out-of-range
+// panic deep inside the aggregation kernel. The scan is O(numSrc) — the
+// same order as the gather that built the batch — and covers the dst
+// prefix too (destinations are a prefix of the sources by the Adj
+// contract).
+func (l *GCNLayer) checkAdj(adj Adj) {
+	n := len(l.InvSqrtDeg)
+	for j, numSrc := 0, adj.NumSrc(); j < numSrc; j++ {
+		if id := int(adj.SrcGlobal(j)); id < 0 || id >= n {
+			panic(fmt.Sprintf("nn: GCN normalisation table covers %d global nodes but the batch references node %d; the model was constructed with degrees for a smaller graph than it is being run on", n, id))
+		}
+	}
+}
+
+// aggRow fills row (width InDim, zeroed) with destination i's normalised
+// self + neighbour sum.
+func (l *GCNLayer) aggRow(row []float32, adj Adj, x *tensor.Matrix, i int) {
+	ci := l.InvSqrtDeg[adj.DstGlobal(i)]
+	// Self term: h_v/(D(v)+1) = c_v · c_v · h_v.
+	self := x.Row(i)
+	cSelf := ci * ci
+	for k, v := range self {
+		row[k] = v * cSelf
+	}
+	for _, j := range adj.Neighbors(i) {
+		c := ci * l.InvSqrtDeg[adj.SrcGlobal(int(j))]
+		src := x.Row(int(j))
+		for k, v := range src {
+			row[k] += v * c
+		}
+	}
+}
+
 // Forward implements Layer.
 func (l *GCNLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	l.checkAdj(adj)
 	numDst := adj.NumDst()
 	l.x = x
-	l.agg = tensor.New(numDst, l.InDim)
-	pool.ParallelRange(numDst, func(lo, hi int) {
+	l.bufs.Put(l.agg)
+	l.bufs.Put(l.out)
+	l.agg = l.bufs.Get(numDst, l.InDim)
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			ci := l.InvSqrtDeg[adj.DstGlobal(i)]
-			row := l.agg.Row(i)
-			// Self term: h_v/(D(v)+1) = c_v · c_v · h_v.
-			self := x.Row(i)
-			cSelf := ci * ci
-			for k, v := range self {
-				row[k] = v * cSelf
-			}
-			for _, j := range adj.Neighbors(i) {
-				c := ci * l.InvSqrtDeg[adj.SrcGlobal(int(j))]
-				src := x.Row(int(j))
-				for k, v := range src {
-					row[k] += v * c
-				}
-			}
+			l.aggRow(l.agg.Row(i), adj, x, i)
 		}
 	})
-	l.out = tensor.New(numDst, l.OutDim)
+	l.out = l.bufs.Get(numDst, l.OutDim)
 	tensor.MatMul(pool, l.out, l.agg, l.Weight.W)
 	tensor.AddRowVector(l.out, l.Bias.W.Data)
 	if l.Relu {
@@ -211,25 +345,54 @@ func (l *GCNLayer) Forward(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor
 	return l.out
 }
 
+// Infer implements Layer (fused, forward-only; see SAGELayer.Infer).
+func (l *GCNLayer) Infer(pool *tensor.Pool, adj Adj, x *tensor.Matrix) *tensor.Matrix {
+	l.checkAdj(adj)
+	numDst := adj.NumDst()
+	out := l.bufs.Get(numDst, l.OutDim)
+	w, bias := l.Weight.W, l.Bias.W.Data
+	pool.ParallelWeighted(numDst, adjCost(adj), func(lo, hi int) {
+		scratch := l.bufs.Get(1, l.InDim)
+		row := scratch.Data
+		for i := lo; i < hi; i++ {
+			l.aggRow(row, adj, x, i)
+			dr := out.Row(i)
+			denseRowMulAdd(dr, row, w, bias)
+			if l.Relu {
+				reluRowInPlace(dr)
+			}
+		}
+		l.bufs.Put(scratch)
+	})
+	return out
+}
+
 // Backward implements Layer.
 func (l *GCNLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *tensor.Matrix {
 	numDst := adj.NumDst()
 	dZ := dOut
 	if l.Relu {
-		dZ = tensor.New(dOut.Rows, dOut.Cols)
+		dZ = l.bufs.Get(dOut.Rows, dOut.Cols)
 		tensor.ReLUBackward(dZ, dOut, l.out)
 	}
-	dW := tensor.New(l.Weight.W.Rows, l.Weight.W.Cols)
+	dW := l.bufs.Get(l.Weight.W.Rows, l.Weight.W.Cols)
 	tensor.MatMulAT(pool, dW, l.agg, dZ)
 	tensor.Add(l.Weight.Grad, dW)
-	db := make([]float32, l.OutDim)
+	l.bufs.Put(dW)
+	if cap(l.db) < l.OutDim {
+		l.db = make([]float32, l.OutDim)
+	}
+	db := l.db[:l.OutDim]
 	tensor.ColSum(db, dZ)
 	for k, v := range db {
 		l.Bias.Grad.Data[k] += v
 	}
-	dAgg := tensor.New(numDst, l.InDim)
+	dAgg := l.bufs.Get(numDst, l.InDim)
 	tensor.MatMulBT(pool, dAgg, dZ, l.Weight.W)
-	dX := tensor.New(adj.NumSrc(), l.InDim)
+	if l.Relu {
+		l.bufs.Put(dZ)
+	}
+	dX := l.bufs.Get(adj.NumSrc(), l.InDim)
 	for i := 0; i < numDst; i++ {
 		ci := l.InvSqrtDeg[adj.DstGlobal(i)]
 		dRow := dAgg.Row(i)
@@ -246,5 +409,6 @@ func (l *GCNLayer) Backward(pool *tensor.Pool, adj Adj, dOut *tensor.Matrix) *te
 			}
 		}
 	}
+	l.bufs.Put(dAgg)
 	return dX
 }

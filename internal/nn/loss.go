@@ -10,10 +10,17 @@ import (
 // against integer labels and the gradient w.r.t. the logits
 // (softmax(logits) − onehot(labels)) / batch.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix) {
+	return SoftmaxCrossEntropyPooled(nil, logits, labels)
+}
+
+// SoftmaxCrossEntropyPooled is SoftmaxCrossEntropy with the gradient
+// matrix drawn from bufs (nil → plain allocation), so a training step
+// that recycles the gradient after Backward allocates nothing.
+func SoftmaxCrossEntropyPooled(bufs *tensor.BufPool, logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix) {
 	if len(labels) != logits.Rows {
 		panic("nn: label count != logit rows")
 	}
-	probs := tensor.New(logits.Rows, logits.Cols)
+	probs := bufs.Get(logits.Rows, logits.Cols)
 	tensor.SoftmaxRows(probs, logits)
 	var loss float64
 	inv := 1 / float64(logits.Rows)

@@ -29,12 +29,20 @@ type ModelSpec struct {
 	Seed int64
 }
 
-// GNN is a multi-layer GNN model replica. It owns its parameters and the
-// per-batch activation cache (each layer caches its own inputs), so each
-// ARGO process uses its own replica.
+// GNN is a multi-layer GNN model replica. It owns its parameters, the
+// per-batch activation cache (each layer caches its own inputs), and a
+// shared buffer pool recycling every per-batch matrix, so each ARGO
+// process uses its own replica and steady-state batches allocate no
+// matrix storage.
 type GNN struct {
 	Spec   ModelSpec
 	Layers []Layer
+
+	// bufs recycles per-batch matrices across all layers of this
+	// replica. Layers built by NewModel share it; callers gathering
+	// input features may draw from (and return to) the same pool via
+	// Buffers.
+	bufs *tensor.BufPool
 
 	// cached between Forward and Backward
 	lastBatch *sampler.MiniBatch
@@ -49,7 +57,7 @@ func NewModel(spec ModelSpec, degrees []int) (*GNN, error) {
 		return nil, fmt.Errorf("nn: model needs at least 2 dims, got %v", spec.Dims)
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	m := &GNN{Spec: spec}
+	m := &GNN{Spec: spec, bufs: tensor.NewBufPool()}
 	numLayers := len(spec.Dims) - 1
 	for l := 0; l < numLayers; l++ {
 		relu := l < numLayers-1
@@ -67,11 +75,22 @@ func NewModel(spec ModelSpec, degrees []int) (*GNN, error) {
 			return nil, fmt.Errorf("nn: unknown model kind %q", spec.Kind)
 		}
 	}
+	for _, l := range m.Layers {
+		if bl, ok := l.(bufferedLayer); ok {
+			bl.setBufPool(m.bufs)
+		}
+	}
 	return m, nil
 }
 
 // NumLayers returns the model depth.
 func (m *GNN) NumLayers() int { return len(m.Layers) }
+
+// Buffers returns the replica's shared matrix buffer pool. Callers that
+// gather per-batch inputs (feature matrices, input gradients) can Get
+// from and Put back into it to keep the whole step allocation-free; a
+// Put matrix must no longer be referenced by the caller.
+func (m *GNN) Buffers() *tensor.BufPool { return m.bufs }
 
 // Params returns all trainable parameters in a stable order.
 func (m *GNN) Params() []*Param {
@@ -113,30 +132,66 @@ func (m *GNN) Forward(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matri
 	return x
 }
 
+// Infer runs a fused forward-only pass: bit-identical logits to Forward
+// (same per-row operation order) without caching activations or
+// materialising the intermediate aggregation matrices — the serving
+// path. The returned matrix draws from the model's buffer pool; callers
+// done with it may Put it back via Buffers. Infer does not disturb the
+// Forward/Backward activation cache.
+func (m *GNN) Infer(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matrix) *tensor.Matrix {
+	x := x0
+	if mb.Sub != nil {
+		adj := SubAdj{S: mb.Sub}
+		for _, l := range m.Layers {
+			next := l.Infer(pool, adj, x)
+			if x != x0 {
+				m.bufs.Put(x)
+			}
+			x = next
+		}
+		nt := mb.Sub.NumTargets
+		return tensor.FromSlice(nt, x.Cols, x.Data[:nt*x.Cols])
+	}
+	if len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	for li, l := range m.Layers {
+		next := l.Infer(pool, BlockAdj{B: &mb.Blocks[li]}, x)
+		if x != x0 {
+			m.bufs.Put(x)
+		}
+		x = next
+	}
+	return x
+}
+
 // Backward propagates dLogits (gradient w.r.t. Forward's return value)
 // through the model, accumulating parameter gradients. It returns the
 // gradient w.r.t. the gathered input features (rarely needed; exposed for
-// testing).
+// testing). Intermediate layer gradients are recycled through the
+// model's buffer pool; the returned matrix is the caller's to keep (or
+// Put back via Buffers).
 func (m *GNN) Backward(pool *tensor.Pool, dLogits *tensor.Matrix) *tensor.Matrix {
 	mb := m.lastBatch
 	if mb == nil {
 		panic("nn: Backward before Forward")
 	}
-	var grad *tensor.Matrix
+	grad := dLogits
+	adjFor := func(li int) Adj { return BlockAdj{B: &mb.Blocks[li]} }
 	if mb.Sub != nil {
 		// Expand target-row gradients to the full subgraph width.
 		adj := SubAdj{S: mb.Sub}
-		full := tensor.New(len(mb.Sub.Nodes), dLogits.Cols)
+		full := m.bufs.Get(len(mb.Sub.Nodes), dLogits.Cols)
 		copy(full.Data[:dLogits.Rows*dLogits.Cols], dLogits.Data)
 		grad = full
-		for li := len(m.Layers) - 1; li >= 0; li-- {
-			grad = m.Layers[li].Backward(pool, adj, grad)
-		}
-		return grad
+		adjFor = func(int) Adj { return adj }
 	}
-	grad = dLogits
 	for li := len(m.Layers) - 1; li >= 0; li-- {
-		grad = m.Layers[li].Backward(pool, BlockAdj{B: &mb.Blocks[li]}, grad)
+		next := m.Layers[li].Backward(pool, adjFor(li), grad)
+		if grad != dLogits {
+			m.bufs.Put(grad)
+		}
+		grad = next
 	}
 	return grad
 }
@@ -144,7 +199,14 @@ func (m *GNN) Backward(pool *tensor.Pool, dLogits *tensor.Matrix) *tensor.Matrix
 // Gather copies the feature rows of ids from feats into a new matrix —
 // the memory-bound index_select the paper's Fig. 2 highlights.
 func Gather(feats *tensor.Matrix, ids []graph.NodeID) *tensor.Matrix {
-	out := tensor.New(len(ids), feats.Cols)
+	return GatherPooled(nil, feats, ids)
+}
+
+// GatherPooled is Gather with the output drawn from bufs (nil → plain
+// allocation): recycling the gathered batch back into the same pool
+// after the step makes the steady-state input gather allocation-free.
+func GatherPooled(bufs *tensor.BufPool, feats *tensor.Matrix, ids []graph.NodeID) *tensor.Matrix {
+	out := bufs.Get(len(ids), feats.Cols)
 	for i, v := range ids {
 		copy(out.Row(i), feats.Row(int(v)))
 	}

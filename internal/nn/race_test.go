@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports that this build runs under the race detector,
+// where sync.Pool intentionally drops items (to surface races), making
+// allocation-threshold assertions meaningless.
+const raceEnabled = true

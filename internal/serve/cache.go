@@ -88,15 +88,25 @@ func (c *FeatureCache) Put(id graph.NodeID, row []float32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[id]; ok {
-		// Refresh: same store, same dim — the row bytes are a pure
-		// function of the node id, so just bump recency.
+		// Refresh. The row bytes are normally a pure function of the
+		// node id, but a caller may legitimately re-Put after a store
+		// swap or dim change — so re-check the length, re-copy into
+		// owned storage when it differs, and re-charge the byte
+		// accounting rather than silently keeping a stale-width row.
+		ent := el.Value.(*cacheEntry)
+		if len(ent.row) != len(row) {
+			c.used -= entrySize(ent.row)
+			ent.row = make([]float32, len(row))
+			copy(ent.row, row)
+			c.used += size
+		}
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		own := make([]float32, len(row))
+		copy(own, row)
+		c.items[id] = c.ll.PushFront(&cacheEntry{id: id, row: own})
+		c.used += size
 	}
-	own := make([]float32, len(row))
-	copy(own, row)
-	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, row: own})
-	c.used += size
 	for c.used > c.capBytes {
 		tail := c.ll.Back()
 		if tail == nil {

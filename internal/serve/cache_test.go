@@ -94,3 +94,53 @@ func TestFeatureCacheRefreshBumpsRecency(t *testing.T) {
 		t.Fatalf("entries = %d, want 2", s.Entries)
 	}
 }
+
+func TestFeatureCacheRefreshRechargesChangedRow(t *testing.T) {
+	// A refresh with a different row length must replace the stored
+	// bytes and re-charge the byte accounting, not silently keep the
+	// stale-width row.
+	c := NewFeatureCache(1 << 20)
+	c.Put(1, row(1, 2))
+	before := c.Stats().UsedBytes
+	c.Put(1, row(7, 8, 9, 10)) // store swap: same id, wider row
+	got, ok := c.Get(1, nil)
+	if !ok {
+		t.Fatal("refreshed entry missing")
+	}
+	if len(got) != 4 || got[0] != 7 || got[3] != 10 {
+		t.Fatalf("refreshed row = %v, want [7 8 9 10]", got)
+	}
+	after := c.Stats().UsedBytes
+	if want := before + 2*4; after != want {
+		t.Fatalf("used bytes = %d, want %d (re-charged for 2 extra floats)", after, want)
+	}
+	// Same-length refresh keeps accounting unchanged.
+	c.Put(1, row(7, 8, 9, 10))
+	if c.Stats().UsedBytes != after {
+		t.Fatalf("same-length refresh changed used bytes: %d != %d", c.Stats().UsedBytes, after)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+}
+
+func TestFeatureCacheRefreshGrowthCanEvict(t *testing.T) {
+	// Growing a row on refresh can push the cache over budget; the
+	// evict loop must then trim from the tail, never the refreshed
+	// (now most-recent) entry itself.
+	capBytes := 2*(4+cacheEntryOverheadBytes) + 3*4
+	c := NewFeatureCache(int64(capBytes))
+	c.Put(1, row(1))
+	c.Put(2, row(2))
+	c.Put(2, row(2, 2, 2, 2, 2)) // grow MRU entry beyond what both fit
+	if _, ok := c.Get(1, nil); ok {
+		t.Fatal("tail entry should have been evicted to fund the growth")
+	}
+	got, ok := c.Get(2, nil)
+	if !ok || len(got) != 5 {
+		t.Fatalf("grown entry = %v, ok=%v; want the 5-float row", got, ok)
+	}
+	if s := c.Stats(); s.UsedBytes > s.CapBytes {
+		t.Fatalf("used %d exceeds cap %d after refresh-evict", s.UsedBytes, s.CapBytes)
+	}
+}

@@ -181,20 +181,29 @@ func (inf *Inferencer) Predict(nodes []graph.NodeID) ([]Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	logits := inf.model.Forward(inf.pool, mb, x0)
+	// The fused forward-only pass: bit-identical logits to Forward
+	// without materialising the intermediate aggregation matrices, and
+	// every per-batch matrix recycled through the model's pool, so a
+	// steady-state Predict allocates only the returned predictions.
+	logits := inf.model.Infer(inf.pool, mb, x0)
 	preds := make([]Prediction, len(nodes))
 	for i, v := range nodes {
 		row := logits.Row(i)
 		preds[i] = Prediction{Node: v, Label: argmax(row), Logits: append([]float32(nil), row...)}
 	}
+	bufs := inf.model.Buffers()
+	bufs.Put(logits)
+	bufs.Put(x0)
 	return preds, nil
 }
 
 // gatherFeatures assembles the layer-0 input matrix row by row through
 // the cache. Only rows absent from the cache touch the FeatureSource.
+// The matrix draws from the model's buffer pool; Predict returns it once
+// the pass completes.
 func (inf *Inferencer) gatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
 	dim := inf.feats.Dim()
-	x0 := tensor.New(len(ids), dim)
+	x0 := inf.model.Buffers().Get(len(ids), dim)
 	for i, v := range ids {
 		dst := x0.Row(i)
 		if inf.cache != nil {
@@ -204,6 +213,7 @@ func (inf *Inferencer) gatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error
 		}
 		row, err := inf.feats.Row(v, inf.scratch)
 		if err != nil {
+			inf.model.Buffers().Put(x0)
 			return nil, err
 		}
 		inf.scratch = row

@@ -5,15 +5,17 @@ import (
 	"math"
 )
 
-// MatMul computes dst = a·b, parallelised over row blocks of a on pool.
-// Shapes: a is m×k, b is k×n, dst is m×n. dst must not alias a or b.
+// MatMul computes dst = a·b, parallelised over row blocks of a on pool
+// with work-stealing dispatch (row results are per-row, so stealing
+// never reorders a reduction). Shapes: a is m×k, b is k×n, dst is m×n.
+// dst must not alias a or b.
 func MatMul(pool *Pool, dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	k, n := a.Cols, b.Cols
-	pool.ParallelRange(a.Rows, func(lo, hi int) {
+	pool.ParallelWeighted(a.Rows, nil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
 			dr := dst.Data[i*n : (i+1)*n]
@@ -41,7 +43,7 @@ func MatMulBT(pool *Pool, dst, a, b *Matrix) {
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	k, n := a.Cols, b.Rows
-	pool.ParallelRange(a.Rows, func(lo, hi int) {
+	pool.ParallelWeighted(a.Rows, nil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
 			dr := dst.Data[i*n : (i+1)*n]
@@ -66,7 +68,7 @@ func MatMulAT(pool *Pool, dst, a, b *Matrix) {
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	m, n := a.Cols, b.Cols
-	pool.ParallelRange(m, func(lo, hi int) {
+	pool.ParallelWeighted(m, nil, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dr := dst.Data[i*n : (i+1)*n]
 			for j := range dr {
@@ -173,10 +175,14 @@ func ReLUBackward(dst, grad, act *Matrix) {
 }
 
 // SoftmaxRows computes a numerically-stable row-wise softmax of src into
-// dst. dst and src may alias.
+// dst. dst and src may alias. Degenerate shapes (no rows, or no columns
+// — an empty predict batch) are a no-op rather than a panic.
 func SoftmaxRows(dst, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("tensor: SoftmaxRows shape mismatch")
+	}
+	if src.Cols == 0 {
+		return
 	}
 	for i := 0; i < src.Rows; i++ {
 		in := src.Row(i)
@@ -201,10 +207,17 @@ func SoftmaxRows(dst, src *Matrix) {
 }
 
 // ArgMaxRows writes the index of the maximum element of each row of m into
-// dst (len Rows).
+// dst (len Rows). A zero-column matrix has no maximum: every dst entry is
+// set to -1 instead of panicking.
 func ArgMaxRows(dst []int, m *Matrix) {
 	if len(dst) != m.Rows {
 		panic("tensor: ArgMaxRows length mismatch")
+	}
+	if m.Cols == 0 {
+		for i := range dst {
+			dst[i] = -1
+		}
+		return
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)

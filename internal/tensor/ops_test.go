@@ -283,3 +283,26 @@ func TestColSumLengthPanic(t *testing.T) {
 	}()
 	ColSum(make([]float32, 3), New(2, 2))
 }
+
+func TestSoftmaxRowsDegenerateShapes(t *testing.T) {
+	// 0 columns: nothing to normalise; must not panic (the old code
+	// indexed row[0] unconditionally). 0 rows: trivially a no-op.
+	for _, tc := range []struct{ rows, cols int }{{0, 3}, {3, 0}, {0, 0}} {
+		src := New(tc.rows, tc.cols)
+		dst := New(tc.rows, tc.cols)
+		SoftmaxRows(dst, src) // must not panic
+	}
+}
+
+func TestArgMaxRowsDegenerateShapes(t *testing.T) {
+	// 0 rows: no output. 0 columns: no maximum exists; every slot gets
+	// the -1 sentinel (the old code indexed row[0] and panicked).
+	ArgMaxRows([]int{}, New(0, 4))
+	dst := []int{7, 7, 7}
+	ArgMaxRows(dst, New(3, 0))
+	for i, v := range dst {
+		if v != -1 {
+			t.Fatalf("dst[%d] = %d, want -1 for a zero-column matrix", i, v)
+		}
+	}
+}
