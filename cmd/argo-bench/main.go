@@ -63,6 +63,7 @@ import (
 	"argo/internal/platsim"
 	"argo/internal/sampler"
 	"argo/internal/search"
+	"argo/internal/serve"
 )
 
 // strategyResult is one row of BENCH_argo.json: a tuning strategy run
@@ -177,6 +178,12 @@ func main() {
 	serveReqNodes := flag.Int("req-nodes", 4, "serving benchmark: nodes per predict request")
 	serveRate := flag.Float64("rate", 0, "serving benchmark: open-loop request rate in req/s (0 = closed loop)")
 	serveCacheBytes := flag.Int64("cache-bytes", 64<<10, "serving benchmark: hot-node feature cache budget")
+	servePolicies := flag.String("cache-policy", "all",
+		"serving benchmark: comma-separated cache policies ("+strings.Join(serve.Policies(), ", ")+") or \"all\"; one row pair per policy")
+	serveHops := flag.Int("hops", 2, "serving benchmark: gather depth / model layers (2+ makes each request a frontier scan)")
+	serveHubPin := flag.Float64("hub-pin", 0.01, "serving benchmark: top-degree fraction pinned by the twotier policy")
+	servePrecompute := flag.Float64("precompute-hubs", 0, "serving benchmark: top-degree fraction with precomputed activations (0 disables hub serving)")
+	serveZipfS := flag.Float64("zipf-s", 2.0, "serving benchmark: skew of the zipf query stream (must be > 1)")
 	kernelsFlag := flag.Bool("kernels", false,
 		"run the kernel benchmark (degree-aware chunk balance + pooled forward timings on a synthetic power-law graph) and merge a \"kernels\" section into the JSON artifact")
 	kernelWorkers := flag.Int("kernel-workers", 8,
@@ -209,8 +216,21 @@ func main() {
 	if *serveFlag {
 		// Merges into the strategy artifact rather than clobbering it,
 		// so the default -json path is the right destination.
-		if err := benchServe(*datasetFlag, *serveRequests, *serveConcurrency, *serveReqNodes,
-			*serveRate, *serveCacheBytes, *jsonPath, *stable, os.Stdout); err != nil {
+		if err := benchServe(serveBenchConfig{
+			Datasets:    *datasetFlag,
+			Policies:    *servePolicies,
+			Hops:        *serveHops,
+			Requests:    *serveRequests,
+			Concurrency: *serveConcurrency,
+			ReqNodes:    *serveReqNodes,
+			Rate:        *serveRate,
+			CacheBytes:  *serveCacheBytes,
+			HubPin:      *serveHubPin,
+			Precompute:  *servePrecompute,
+			ZipfS:       *serveZipfS,
+			JSONPath:    *jsonPath,
+			Stable:      *stable,
+		}, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -16,20 +16,27 @@ import (
 	"argo/internal/serve"
 )
 
-// serveBench is one (dataset, workload) row of the serving benchmark:
-// the same stack argo-serve runs (full-neighbor gather, hot-node cache,
-// micro-batcher), driven in-process so the numbers measure the serving
-// path rather than HTTP framing.
+// serveBench is one (dataset, policy, workload) row of the serving
+// benchmark: the same stack argo-serve runs (full-neighbor gather,
+// policy-driven hot-node cache, micro-batcher), driven in-process so
+// the numbers measure the serving path rather than HTTP framing.
 type serveBench struct {
 	Dataset          string  `json:"dataset"`
+	Policy           string  `json:"policy"`
 	Workload         string  `json:"workload"` // zipf or uniform
+	Hops             int     `json:"hops"`
 	Requests         int     `json:"requests"`
 	RequestNodes     int     `json:"request_nodes"`
 	Concurrency      int     `json:"concurrency"`
 	OpenLoopRPS      float64 `json:"open_loop_rps,omitempty"`
+	ZipfS            float64 `json:"zipf_s,omitempty"` // zipf rows only
 	CacheBytes       int64   `json:"cache_bytes"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	CacheEvictions   int64   `json:"cache_evictions"`
+	CacheRejections  int64   `json:"cache_rejections,omitempty"`
+	PinnedEntries    int     `json:"pinned_entries,omitempty"`
+	HubNodes         int     `json:"hub_nodes,omitempty"`
+	HubHits          int64   `json:"hub_hits,omitempty"`
 	Batches          int64   `json:"batches"`
 	MeanBatchNodes   float64 `json:"mean_batch_nodes"`
 	ThroughputRPS    float64 `json:"throughput_rps"`
@@ -53,18 +60,38 @@ type mergedBench struct {
 	Kernels    *kernelsBench  `json:"kernels,omitempty"`
 }
 
-// benchServe benchmarks the serving stack on each workload dataset
-// under a Zipf-skewed and a uniform query stream, and merges the rows
-// into jsonPath. With stable set the drive is sequential (one closed
-// loop, no coalescing window) and wall-clock fields are zeroed, so the
-// rows — including the cache hit-rates the CI skew gate compares — are
-// a pure function of the seed.
-func benchServe(datasetFlag string, requests, concurrency, reqNodes int, rate float64, cacheBytes int64, jsonPath string, stable bool, w *os.File) error {
+// serveBenchConfig carries the -serve flag surface into benchServe —
+// one field per flag, so adding a knob does not ripple a positional
+// parameter through every call site.
+type serveBenchConfig struct {
+	Datasets    string  // -dataset: comma list or "all"
+	Policies    string  // -cache-policy: comma list or "all"
+	Hops        int     // -hops: model depth = gather depth
+	Requests    int     // -requests
+	Concurrency int     // -concurrency
+	ReqNodes    int     // -req-nodes
+	Rate        float64 // -rate (open loop when > 0)
+	CacheBytes  int64   // -cache-bytes
+	HubPin      float64 // -hub-pin
+	Precompute  float64 // -precompute-hubs
+	ZipfS       float64 // -zipf-s: skew of the zipf query stream
+	JSONPath    string  // -json
+	Stable      bool    // -stable
+}
+
+// benchServe benchmarks the serving stack on each workload dataset,
+// for each requested cache policy, under a Zipf-skewed and a uniform
+// query stream, and merges the rows into cfg.JSONPath. With Stable set
+// the drive is sequential (one closed loop, no coalescing window) and
+// wall-clock fields are zeroed, so the rows — including the cache
+// hit-rates the CI skew gate compares — are a pure function of the
+// seed.
+func benchServe(cfg serveBenchConfig, w *os.File) error {
 	var names []string
-	if datasetFlag == "all" {
+	if cfg.Datasets == "all" {
 		names = datasets.PaperNames()
 	} else {
-		for _, n := range strings.Split(datasetFlag, ",") {
+		for _, n := range strings.Split(cfg.Datasets, ",") {
 			if n = strings.TrimSpace(n); n != "" {
 				names = append(names, n)
 			}
@@ -73,8 +100,21 @@ func benchServe(datasetFlag string, requests, concurrency, reqNodes int, rate fl
 	if len(names) == 0 {
 		return fmt.Errorf("-dataset selected no workloads")
 	}
-	if requests < 1 || reqNodes < 1 || concurrency < 1 {
-		return fmt.Errorf("-requests, -req-nodes, and -concurrency must be positive")
+	var policies []string
+	if cfg.Policies == "all" {
+		policies = serve.Policies()
+	} else {
+		for _, p := range strings.Split(cfg.Policies, ",") {
+			if p = strings.TrimSpace(strings.ToLower(p)); p != "" {
+				policies = append(policies, p)
+			}
+		}
+	}
+	if len(policies) == 0 {
+		return fmt.Errorf("-cache-policy selected no policies")
+	}
+	if cfg.Requests < 1 || cfg.ReqNodes < 1 || cfg.Concurrency < 1 || cfg.Hops < 1 {
+		return fmt.Errorf("-requests, -req-nodes, -concurrency, and -hops must be positive")
 	}
 	const seed = 7
 	var rows []serveBench
@@ -83,46 +123,53 @@ func benchServe(datasetFlag string, requests, concurrency, reqNodes int, rate fl
 		if err != nil {
 			return err
 		}
-		if reqNodes > ds.Graph.NumNodes {
-			return fmt.Errorf("%s: -req-nodes %d exceeds the graph (%d nodes)", name, reqNodes, ds.Graph.NumNodes)
+		if cfg.ReqNodes > ds.Graph.NumNodes {
+			return fmt.Errorf("%s: -req-nodes %d exceeds the graph (%d nodes)", name, cfg.ReqNodes, ds.Graph.NumNodes)
 		}
-		// A single-layer model pins the regime the feature cache is
-		// designed for: each request fetches its targets' one-hop rows,
-		// so query skew translates directly into fetch locality. Deeper
-		// models' full-neighborhood gathers are cache-hostile scans —
-		// one hub's k-hop frontier evicts everything under LRU no
-		// matter how skewed the queries are — which would make the row
-		// measure eviction pathology, not workload locality. Weights
-		// are seeded, not trained; serving cost does not depend on what
-		// the weights are.
+		// A hops-layer model sets the gather regime. At one hop each
+		// request fetches its targets' neighbor rows, so query skew
+		// translates directly into fetch locality — the regime plain LRU
+		// already handles. At two-plus hops every request's
+		// full-neighborhood gather is a scan over hundreds of one-off
+		// frontier rows; this is exactly the traffic scan-resistant
+		// policies exist for, so the CI gate compares policies at 2
+		// hops. Weights are seeded, not trained; serving cost does not
+		// depend on what the weights are.
+		dims := []int{ds.Features.Cols}
+		for l := 1; l < cfg.Hops; l++ {
+			dims = append(dims, 16)
+		}
+		dims = append(dims, ds.NumClasses)
 		model, err := nn.NewModel(nn.ModelSpec{
 			Kind: nn.KindSAGE,
-			Dims: []int{ds.Features.Cols, ds.NumClasses},
+			Dims: dims,
 			Seed: seed,
 		}, nil)
 		if err != nil {
 			return err
 		}
-		for _, workload := range []string{"zipf", "uniform"} {
-			row, err := runServeWorkload(name, workload, ds, model, requests, concurrency, reqNodes, rate, cacheBytes, stable)
-			if err != nil {
-				return err
+		for _, policy := range policies {
+			for _, workload := range []string{"zipf", "uniform"} {
+				row, err := runServeWorkload(name, workload, policy, ds, model, cfg)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%-16s %-9s %-8s %d reqs × %d nodes @ %d hops: hit-rate %.3f, %d batches (%.1f nodes/batch), p95 %.0fµs\n",
+					name, policy, workload, row.Requests, row.RequestNodes, row.Hops, row.CacheHitRate,
+					row.Batches, row.MeanBatchNodes, row.LatencyP95Micros)
 			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%-16s %-8s %d reqs × %d nodes: hit-rate %.3f, %d batches (%.1f nodes/batch), p95 %.0fµs\n",
-				name, workload, row.Requests, row.RequestNodes, row.CacheHitRate,
-				row.Batches, row.MeanBatchNodes, row.LatencyP95Micros)
 		}
 	}
 	// Merge: keep whatever strategy entries are already in the artifact.
 	var out mergedBench
-	if raw, err := os.ReadFile(jsonPath); err == nil {
+	if raw, err := os.ReadFile(cfg.JSONPath); err == nil {
 		if err := json.Unmarshal(raw, &out); err != nil {
-			return fmt.Errorf("parsing existing %s: %w", jsonPath, err)
+			return fmt.Errorf("parsing existing %s: %w", cfg.JSONPath, err)
 		}
 	}
 	out.Serve = rows
-	f, err := os.Create(jsonPath)
+	f, err := os.Create(cfg.JSONPath)
 	if err != nil {
 		return err
 	}
@@ -132,42 +179,42 @@ func benchServe(datasetFlag string, requests, concurrency, reqNodes int, rate fl
 	if err := enc.Encode(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serve benchmark (%d rows) merged into %s\n", len(rows), jsonPath)
+	fmt.Fprintf(w, "serve benchmark (%d rows) merged into %s\n", len(rows), cfg.JSONPath)
 	return nil
 }
 
-// runServeWorkload builds a fresh serving stack (so cache state is
-// isolated per row) and drives it with the named query stream.
-func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN, requests, concurrency, reqNodes int, rate float64, cacheBytes int64, stable bool) (serveBench, error) {
+// runServeWorkload builds a fresh serving stack through serve.New (so
+// cache state is isolated per row) and drives it with the named query
+// stream.
+func runServeWorkload(dsName, workload, policy string, ds *graph.Dataset, model *nn.GNN, cfg serveBenchConfig) (serveBench, error) {
 	const seed = 7
-	cache := serve.NewFeatureCache(cacheBytes)
-	inf, err := serve.NewInferencer(serve.InferencerOptions{
-		Model:    model,
-		Graph:    ds.Graph,
-		Features: serve.NewMatrixFeatureSource(ds.Features),
-		Cache:    cache,
-		Workers:  2,
-	})
+	opts := []serve.Option{
+		serve.WithPolicy(policy),
+		serve.WithCacheBytes(cfg.CacheBytes),
+		serve.WithHubPin(cfg.HubPin),
+		serve.WithPrecomputeHubs(cfg.Precompute),
+		serve.WithWorkers(2),
+	}
+	if !cfg.Stable {
+		// With a sequential -stable drive every request is its own batch
+		// and the cache trace is deterministic; otherwise coalesce.
+		opts = append(opts, serve.WithBatchWindow(2*time.Millisecond), serve.WithBatchMaxNodes(256))
+	}
+	srv, err := serve.New(serve.Source{Graph: ds.Graph, Features: serve.NewMatrixFeatureSource(ds.Features)}, model, opts...)
 	if err != nil {
 		return serveBench{}, err
 	}
-	cfg := serve.BatcherConfig{Window: 2 * time.Millisecond, MaxNodes: 256}
-	if stable {
-		// No coalescing window: with a sequential drive every request is
-		// its own batch and the LRU trace is deterministic.
-		cfg = serve.BatcherConfig{}
-	}
-	b := serve.NewBatcher(inf, cfg)
-	defer b.Close()
+	defer srv.Close()
+	b := srv.Batcher()
 
 	newGen := func(genSeed int64) (serve.Generator, error) {
 		if workload == "zipf" {
-			return serve.NewZipfGenerator(ds.Graph, genSeed, 1.5)
+			return serve.NewZipfGenerator(ds.Graph, genSeed, cfg.ZipfS)
 		}
 		return serve.NewUniformGenerator(ds.Graph.NumNodes, genSeed)
 	}
 
-	latencies := make([]float64, 0, requests)
+	latencies := make([]float64, 0, cfg.Requests)
 	var mu sync.Mutex
 	record := func(d time.Duration) {
 		mu.Lock()
@@ -176,19 +223,19 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 	}
 	start := time.Now()
 	switch {
-	case stable:
+	case cfg.Stable:
 		gen, err := newGen(seed)
 		if err != nil {
 			return serveBench{}, err
 		}
-		for i := 0; i < requests; i++ {
+		for i := 0; i < cfg.Requests; i++ {
 			t0 := time.Now()
-			if _, err := b.Predict(serve.NextBatch(gen, reqNodes)); err != nil {
+			if _, err := b.Predict(serve.NextBatch(gen, cfg.ReqNodes)); err != nil {
 				return serveBench{}, err
 			}
 			record(time.Since(t0))
 		}
-	case rate > 0:
+	case cfg.Rate > 0:
 		// Open loop: fire at the target rate no matter how fast the
 		// server answers; queueing shows up as latency.
 		var wg sync.WaitGroup
@@ -197,11 +244,11 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 		if err != nil {
 			return serveBench{}, err
 		}
-		interval := time.Duration(float64(time.Second) / rate)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
 		ticker := time.NewTicker(interval)
-		for i := 0; i < requests; i++ {
+		for i := 0; i < cfg.Requests; i++ {
 			<-ticker.C
-			nodes := serve.NextBatch(gen, reqNodes)
+			nodes := serve.NextBatch(gen, cfg.ReqNodes)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -227,10 +274,10 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 		// Closed loop: concurrency workers, each with its own seeded
 		// stream, back to back.
 		var wg sync.WaitGroup
-		errCh := make(chan error, concurrency)
-		per := requests / concurrency
-		extra := requests % concurrency
-		for c := 0; c < concurrency; c++ {
+		errCh := make(chan error, cfg.Concurrency)
+		per := cfg.Requests / cfg.Concurrency
+		extra := cfg.Requests % cfg.Concurrency
+		for c := 0; c < cfg.Concurrency; c++ {
 			n := per
 			if c < extra {
 				n++
@@ -245,7 +292,7 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 				}
 				for i := 0; i < n; i++ {
 					t0 := time.Now()
-					if _, err := b.Predict(serve.NextBatch(gen, reqNodes)); err != nil {
+					if _, err := b.Predict(serve.NextBatch(gen, cfg.ReqNodes)); err != nil {
 						errCh <- err
 						return
 					}
@@ -263,25 +310,35 @@ func runServeWorkload(dsName, workload string, ds *graph.Dataset, model *nn.GNN,
 	}
 	wall := time.Since(start).Seconds()
 
-	cs := cache.Stats()
+	cs := srv.Inferencer().CacheStats()
+	hs := srv.Inferencer().HubStats()
 	bs := b.Stats()
 	row := serveBench{
-		Dataset:        dsName,
-		Workload:       workload,
-		Requests:       requests,
-		RequestNodes:   reqNodes,
-		Concurrency:    concurrency,
-		OpenLoopRPS:    rate,
-		CacheBytes:     cacheBytes,
-		CacheHitRate:   cs.HitRate,
-		CacheEvictions: cs.Evictions,
-		Batches:        bs.Batches,
-		MeanBatchNodes: bs.MeanBatchNodes,
+		Dataset:         dsName,
+		Policy:          policy,
+		Workload:        workload,
+		Hops:            cfg.Hops,
+		Requests:        cfg.Requests,
+		RequestNodes:    cfg.ReqNodes,
+		Concurrency:     cfg.Concurrency,
+		OpenLoopRPS:     cfg.Rate,
+		CacheBytes:      cfg.CacheBytes,
+		CacheHitRate:    cs.HitRate,
+		CacheEvictions:  cs.Evictions,
+		CacheRejections: cs.Rejections,
+		PinnedEntries:   cs.PinnedEntries,
+		HubNodes:        hs.Nodes,
+		HubHits:         hs.Hits,
+		Batches:         bs.Batches,
+		MeanBatchNodes:  bs.MeanBatchNodes,
 	}
-	if stable {
+	if workload == "zipf" {
+		row.ZipfS = cfg.ZipfS
+	}
+	if cfg.Stable {
 		row.Concurrency = 1
 	} else {
-		row.ThroughputRPS = float64(requests) / wall
+		row.ThroughputRPS = float64(cfg.Requests) / wall
 		row.WallSeconds = wall
 		sort.Float64s(latencies)
 		row.LatencyP50Micros = percentile(latencies, 0.50)

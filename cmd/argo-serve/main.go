@@ -2,22 +2,29 @@
 // a trained checkpoint and an .argograph store — the inference-side
 // counterpart of argo-train. Queries are coalesced into micro-batches
 // (one forward pass per batch) and feature rows are read row-granularly
-// through an LRU hot-node cache, so a store much larger than RAM can be
-// served directly off disk.
+// through a policy-driven hot-node cache (-cache-policy: lru, tinylfu,
+// midpoint, twotier), so a store much larger than RAM can be served
+// directly off disk. -hub-pin pins the top-degree rows in the twotier
+// cache; -precompute-hubs computes top-degree nodes' per-layer
+// activations at startup so their deep frontiers are never gathered —
+// both leave served logits bit-identical to direct inference.
 //
 // Usage:
 //
 //	argo-train -dataset tiny -epochs 2 -save-checkpoint model.ckpt
-//	argo-serve -store tiny.argograph -checkpoint model.ckpt -addr :8090
+//	argo-serve -store tiny.argograph -checkpoint model.ckpt -addr :8090 \
+//	    -cache-policy twotier -hub-pin 0.01 -precompute-hubs 0.01
 //	curl -s localhost:8090/v1/predict -d '{"nodes":[0,1,2]}'
 //
 // Endpoints: POST /v1/predict ({"nodes":[...]} -> labels + logits),
-// GET /healthz, GET /statz (cache, batcher, and server counters).
+// GET /healthz, GET /statz (cache, hub, batcher, and server counters;
+// echoes the active cache policy).
 //
 // -direct bypasses the server entirely: it assembles the full dataset,
 // runs one reference forward pass for -nodes, and prints the same JSON
 // a /v1/predict call returns. CI pins the served path against it —
-// the two must match bit for bit.
+// the two must match bit for bit, whatever policy and hub settings are
+// in effect.
 package main
 
 import (
@@ -44,13 +51,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("argo-serve: ")
 	var (
-		store      = flag.String("store", "", "dataset: registry name or .argograph path")
-		shards     = flag.String("shards", "", "shard set instead of -store: name#k or a .shard0 store path")
-		checkpoint = flag.String("checkpoint", "", "checkpoint written by argo-train -save-checkpoint (required)")
-		addr       = flag.String("addr", ":8090", "listen address")
-		window     = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch window (0 disables coalescing)")
-		batchMax   = flag.Int("batch-max", 256, "flush a batch at this many unique nodes (0 = no cap)")
-		cacheBytes = flag.Int64("cache-bytes", 4<<20, "hot-node feature cache budget in bytes (0 disables)")
+		store       = flag.String("store", "", "dataset: registry name or .argograph path")
+		shards      = flag.String("shards", "", "shard set instead of -store: name#k or a .shard0 store path")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint written by argo-train -save-checkpoint (required)")
+		addr        = flag.String("addr", ":8090", "listen address")
+		window      = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch window (0 disables coalescing)")
+		batchMax    = flag.Int("batch-max", 256, "flush a batch at this many unique nodes (0 = no cap)")
+		cacheBytes  = flag.Int64("cache-bytes", 4<<20, "hot-node feature cache budget in bytes (0 disables)")
+		cachePolicy = flag.String("cache-policy", serve.PolicyLRU,
+			"cache replacement policy: "+strings.Join(serve.Policies(), ", "))
+		hubPin     = flag.Float64("hub-pin", 0, "pin the top fraction of nodes by degree in the twotier cache (0..1)")
+		precompute = flag.Float64("precompute-hubs", 0, "precompute per-layer activations for the top fraction of nodes by degree (0..1; 0 disables)")
 		seed       = flag.Int64("seed", 1, "generation seed when -store/-shards is a registry name")
 		direct     = flag.Bool("direct", false, "no server: print the reference predictions for -nodes and exit")
 		nodes      = flag.String("nodes", "", "comma-separated node ids for -direct")
@@ -62,12 +73,30 @@ func main() {
 	if (*store == "") == (*shards == "") {
 		log.Fatal("exactly one of -store or -shards is required")
 	}
-	if err := run(*store, *shards, *checkpoint, *addr, *window, *batchMax, *cacheBytes, *seed, *direct, *nodes); err != nil {
+	cfg := serveConfig{
+		window:      *window,
+		batchMax:    *batchMax,
+		cacheBytes:  *cacheBytes,
+		cachePolicy: *cachePolicy,
+		hubPin:      *hubPin,
+		precompute:  *precompute,
+	}
+	if err := run(*store, *shards, *checkpoint, *addr, cfg, *seed, *direct, *nodes); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(store, shards, checkpoint, addr string, window time.Duration, batchMax int, cacheBytes, seed int64, direct bool, nodeList string) error {
+// serveConfig carries the serving-stack flags into run.
+type serveConfig struct {
+	window      time.Duration
+	batchMax    int
+	cacheBytes  int64
+	cachePolicy string
+	hubPin      float64
+	precompute  float64
+}
+
+func run(store, shards, checkpoint, addr string, cfg serveConfig, seed int64, direct bool, nodeList string) error {
 	// Open the store and the topology first: the model loader needs the
 	// degree array for GCN checkpoints.
 	var (
@@ -117,25 +146,24 @@ func run(store, shards, checkpoint, addr string, window time.Duration, batchMax 
 		return printDirect(model, store, shards, seed, nodeList)
 	}
 
-	var cache *serve.FeatureCache
-	if cacheBytes > 0 {
-		cache = serve.NewFeatureCache(cacheBytes)
-	}
-	inf, err := serve.NewInferencer(serve.InferencerOptions{
-		Model:    model,
-		Graph:    g,
-		Features: feats,
-		Cache:    cache,
-	})
+	srv, err := serve.New(serve.Source{Graph: g, Features: feats}, model,
+		serve.WithPolicy(cfg.cachePolicy),
+		serve.WithCacheBytes(cfg.cacheBytes),
+		serve.WithHubPin(cfg.hubPin),
+		serve.WithPrecomputeHubs(cfg.precompute),
+		serve.WithBatchWindow(cfg.window),
+		serve.WithBatchMaxNodes(cfg.batchMax),
+	)
 	if err != nil {
 		return err
 	}
-	srv := serve.NewServer(inf, serve.BatcherConfig{Window: window, MaxNodes: batchMax}, string(model.Spec.Kind))
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %s (%s, %d nodes, %d classes) on %s", dsName, model.Spec.Kind, g.NumNodes, inf.NumClasses(), addr)
+	inf := srv.Inferencer()
+	log.Printf("serving %s (%s, %d nodes, %d classes) on %s with %s cache (%d bytes), %d precomputed hubs",
+		dsName, model.Spec.Kind, g.NumNodes, inf.NumClasses(), addr, cfg.cachePolicy, cfg.cacheBytes, inf.HubStats().Nodes)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -117,19 +117,51 @@ func PaperNames() []string {
 
 // Get returns the profile registered under name. Legacy graph-registry
 // names ("flickr", "ogbn-products", …) resolve too, so older scripts keep
-// working.
+// working. A "@xN" suffix (the provenance syntax Scale stamps on stored
+// specs) resolves to the base profile scaled N×: "arxiv-sim@x16" is
+// arxiv-sim with 16× the nodes and edges at the same degree
+// distribution — the knob for workloads where frontier size relative to
+// the graph matters (e.g. cache-locality benchmarks) without a
+// pre-materialised store.
 func Get(name string) (Profile, error) {
+	base, factor := splitScale(name)
 	for _, p := range registry {
-		if p.Name == name {
-			return p, nil
+		if p.Name == base {
+			return p.scaled(factor), nil
 		}
 	}
-	if spec, err := graph.Spec(name); err == nil {
-		return Profile{Name: name, Description: "graph registry entry", Spec: spec}, nil
+	if spec, err := graph.Spec(base); err == nil {
+		return Profile{Name: base, Description: "graph registry entry", Spec: spec}.scaled(factor), nil
 	}
 	known := append(Names(), legacyNames()...)
 	sort.Strings(known)
-	return Profile{}, fmt.Errorf("datasets: unknown profile %q (registered: %s)", name, strings.Join(known, ", "))
+	return Profile{}, fmt.Errorf("datasets: unknown profile %q (registered: %s, optionally with a @xN scale suffix)", name, strings.Join(known, ", "))
+}
+
+// splitScale parses a trailing "@xN" (N ≥ 2) off a profile name. Names
+// without one — including file paths, which fall through Get unchanged —
+// return factor 1.
+func splitScale(name string) (string, int) {
+	i := strings.LastIndex(name, "@x")
+	if i < 0 {
+		return name, 1
+	}
+	var factor int
+	if _, err := fmt.Sscanf(name[i+2:], "%d", &factor); err != nil || factor < 2 ||
+		fmt.Sprintf("%s@x%d", name[:i], factor) != name {
+		return name, 1
+	}
+	return name[:i], factor
+}
+
+func (p Profile) scaled(factor int) Profile {
+	if factor <= 1 {
+		return p
+	}
+	p.Spec = p.Spec.Scale(factor)
+	p.Name = fmt.Sprintf("%s@x%d", p.Name, factor)
+	p.Description = fmt.Sprintf("%s, scaled %d×", p.Description, factor)
+	return p
 }
 
 func legacyNames() []string {

@@ -139,8 +139,34 @@ func (m *GNN) Forward(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matri
 // done with it may Put it back via Buffers. Infer does not disturb the
 // Forward/Backward activation cache.
 func (m *GNN) Infer(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matrix) *tensor.Matrix {
+	if mb.Sub == nil && len(mb.Blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
+	}
+	return m.InferReuse(pool, mb, x0, nil)
+}
+
+// InferReuse is the activation-reuse variant of Infer: before each
+// layer consumes its input, inject(layer, x) may overwrite rows of x
+// with externally known activations — precomputed hub embeddings being
+// the serving use. Row j of layer li's input corresponds to
+// mb.Blocks[li].SrcNodes[j], so an injector that fills every known row
+// makes a gather pruned at those nodes (sampler.SamplePruned)
+// bit-identical to the unpruned pass: full-neighborhood aggregation
+// makes each per-layer, per-node activation a pure function of (model,
+// graph, features, node), so a stored value and a recomputed one carry
+// the same bits. inject may be nil (plain fused inference).
+//
+// A batch gathered with fewer blocks than the model has layers runs
+// only that prefix of layers — the hook precompute uses to read
+// intermediate activations: an L'-block full gather followed by an
+// L'-layer prefix pass yields exactly the targets' layer-L' outputs.
+// Subgraph (ShaDow) batches support neither injection nor prefixing.
+func (m *GNN) InferReuse(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matrix, inject func(layer int, x *tensor.Matrix)) *tensor.Matrix {
 	x := x0
 	if mb.Sub != nil {
+		if inject != nil {
+			panic("nn: InferReuse injection requires a block batch, not a subgraph")
+		}
 		adj := SubAdj{S: mb.Sub}
 		for _, l := range m.Layers {
 			next := l.Infer(pool, adj, x)
@@ -152,11 +178,14 @@ func (m *GNN) Infer(pool *tensor.Pool, mb *sampler.MiniBatch, x0 *tensor.Matrix)
 		nt := mb.Sub.NumTargets
 		return tensor.FromSlice(nt, x.Cols, x.Data[:nt*x.Cols])
 	}
-	if len(mb.Blocks) != len(m.Layers) {
+	if len(mb.Blocks) > len(m.Layers) {
 		panic(fmt.Sprintf("nn: %d blocks for %d layers", len(mb.Blocks), len(m.Layers)))
 	}
-	for li, l := range m.Layers {
-		next := l.Infer(pool, BlockAdj{B: &mb.Blocks[li]}, x)
+	for li := range mb.Blocks {
+		if inject != nil {
+			inject(li, x)
+		}
+		next := m.Layers[li].Infer(pool, BlockAdj{B: &mb.Blocks[li]}, x)
 		if x != x0 {
 			m.bufs.Put(x)
 		}

@@ -36,12 +36,32 @@ func (f *FullNeighbor) NumLayers() int { return f.Layers }
 // Sample implements Sampler. The rng is ignored — the gather is
 // deterministic — and may be nil.
 func (f *FullNeighbor) Sample(_ *rand.Rand, targets []graph.NodeID) *MiniBatch {
+	return f.SamplePruned(targets, nil)
+}
+
+// SamplePruned is Sample with frontier pruning at known nodes: a
+// destination for which known returns true is not expanded — its
+// adjacency row is empty and its neighborhood contributes nothing to
+// the next layer's frontier. Known nodes still appear as source rows
+// (other destinations aggregate over them), so the caller must inject
+// their activations into the layer input before the model consumes it
+// (nn.GNN.InferReuse is that seam). This is how precomputed hub
+// embeddings short-circuit deep gathers: a hub's k-hop frontier — the
+// scan that makes full-neighborhood serving cache-hostile — is never
+// walked, because the hub's layer output is already known. Because
+// full-neighborhood aggregation makes every node's per-layer activation
+// a pure function of (model, graph, features, node), injecting the
+// precomputed value is bit-identical to recomputing it. known may be
+// nil (no pruning); targets themselves are pruned too when known, so
+// callers wanting their logits must answer those targets from the
+// precomputed store instead of the returned batch.
+func (f *FullNeighbor) SamplePruned(targets []graph.NodeID, known func(graph.NodeID) bool) *MiniBatch {
 	mb := &MiniBatch{Targets: targets}
 	mb.Blocks = make([]Block, f.Layers)
 	mb.Stats.LayerEdges = make([]int64, f.Layers)
 	dst := targets
 	for li := f.Layers - 1; li >= 0; li-- {
-		b := buildFullBlock(f.Graph, dst)
+		b := buildFullBlock(f.Graph, dst, known)
 		mb.Blocks[li] = b
 		mb.Stats.LayerEdges[li] = int64(b.NumEdges())
 		mb.Stats.SampledEdges += int64(b.NumEdges())
@@ -52,8 +72,10 @@ func (f *FullNeighbor) Sample(_ *rand.Rand, targets []graph.NodeID) *MiniBatch {
 }
 
 // buildFullBlock is buildBlock without the reservoir: every neighbour of
-// every dst, in adjacency order, deduplicated across the batch.
-func buildFullBlock(g *graph.CSR, dst []graph.NodeID) Block {
+// every dst, in adjacency order, deduplicated across the batch. A dst
+// for which known returns true gets an empty adjacency row (see
+// SamplePruned); known may be nil.
+func buildFullBlock(g *graph.CSR, dst []graph.NodeID, known func(graph.NodeID) bool) Block {
 	b := Block{NumDst: len(dst)}
 	b.SrcNodes = make([]graph.NodeID, len(dst), len(dst)*2)
 	copy(b.SrcNodes, dst)
@@ -63,14 +85,16 @@ func buildFullBlock(g *graph.CSR, dst []graph.NodeID) Block {
 		local[v] = int32(i)
 	}
 	for i, v := range dst {
-		for _, u := range g.Neighbors(v) {
-			j, ok := local[u]
-			if !ok {
-				j = int32(len(b.SrcNodes))
-				b.SrcNodes = append(b.SrcNodes, u)
-				local[u] = j
+		if known == nil || !known(v) {
+			for _, u := range g.Neighbors(v) {
+				j, ok := local[u]
+				if !ok {
+					j = int32(len(b.SrcNodes))
+					b.SrcNodes = append(b.SrcNodes, u)
+					local[u] = j
+				}
+				b.Col = append(b.Col, j)
 			}
-			b.Col = append(b.Col, j)
 		}
 		b.RowPtr[i+1] = int32(len(b.Col))
 	}

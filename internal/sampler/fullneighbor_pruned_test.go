@@ -1,0 +1,91 @@
+package sampler
+
+import (
+	"reflect"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+// SamplePruned with a nil predicate must be exactly Sample.
+func TestSamplePrunedNilIsSample(t *testing.T) {
+	g := fullNeighborGraph(t)
+	fn := NewFullNeighbor(g, 2)
+	targets := []graph.NodeID{3, 0}
+	a := fn.Sample(nil, targets)
+	b := fn.SamplePruned(targets, nil)
+	if !reflect.DeepEqual(a.Blocks, b.Blocks) {
+		t.Fatal("SamplePruned(nil) diverges from Sample")
+	}
+}
+
+// A known node must appear as a source (others aggregate over it) but
+// never as an expanded destination: empty adjacency row, none of its
+// neighbours pulled into the next frontier on its account.
+func TestSamplePrunedStopsFrontierAtKnownNodes(t *testing.T) {
+	g := fullNeighborGraph(t)
+	fn := NewFullNeighbor(g, 2)
+	hub := graph.NodeID(2) // degree-4 node on this fixture
+	known := func(v graph.NodeID) bool { return v == hub }
+	mb := fn.SamplePruned([]graph.NodeID{3, 0}, known)
+	for li, b := range mb.Blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("block %d: %v", li, err)
+		}
+		for i := 0; i < b.NumDst; i++ {
+			v := b.SrcNodes[i]
+			nbrs := b.Neighbors(i)
+			if v == hub {
+				if len(nbrs) != 0 {
+					t.Fatalf("layer %d: pruned hub %d has %d neighbours, want 0", li, v, len(nbrs))
+				}
+				continue
+			}
+			var got []graph.NodeID
+			for _, j := range nbrs {
+				got = append(got, b.SrcNodes[j])
+			}
+			want := append([]graph.NodeID(nil), g.Neighbors(v)...)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("layer %d dst %d: neighbours %v, want %v (pruning must not disturb unknown rows)", li, v, got, want)
+			}
+		}
+	}
+	// The hub is adjacent to target 3, so it must still be a source of
+	// the top block — present for aggregation, just not expanded.
+	top := mb.Blocks[len(mb.Blocks)-1]
+	found := false
+	for _, v := range top.SrcNodes {
+		if v == hub {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pruned hub missing from the source set it is aggregated from")
+	}
+	// Pruning shrinks the gathered frontier on this fixture.
+	full := fn.Sample(nil, []graph.NodeID{3, 0})
+	if got, was := len(mb.Blocks[0].SrcNodes), len(full.Blocks[0].SrcNodes); got >= was {
+		t.Fatalf("pruned input frontier %d not smaller than full %d", got, was)
+	}
+	if mb.Stats.SampledEdges >= full.Stats.SampledEdges {
+		t.Fatalf("pruned edges %d not fewer than full %d", mb.Stats.SampledEdges, full.Stats.SampledEdges)
+	}
+}
+
+// A known target is itself pruned: the caller answers it from the
+// precomputed store, so the gather must not walk its frontier.
+func TestSamplePrunedKnownTargetNotExpanded(t *testing.T) {
+	g := fullNeighborGraph(t)
+	fn := NewFullNeighbor(g, 2)
+	known := func(v graph.NodeID) bool { return v == 3 }
+	mb := fn.SamplePruned([]graph.NodeID{3}, known)
+	for li, b := range mb.Blocks {
+		if b.NumEdges() != 0 {
+			t.Fatalf("layer %d: %d edges gathered for a fully known target", li, b.NumEdges())
+		}
+		if len(b.SrcNodes) != 1 || b.SrcNodes[0] != 3 {
+			t.Fatalf("layer %d: src %v, want just the target", li, b.SrcNodes)
+		}
+	}
+}

@@ -3,16 +3,26 @@
 // (the rest of the repo) produces a checkpoint; this package answers
 // node-classification queries against it at user-traffic scale, with a
 // per-request full-neighborhood k-hop gather, cross-request
-// micro-batching, and an LRU hot-node feature cache. The cache exploits
-// query skew: real query streams are Zipf-distributed (a small popular
-// set absorbs most traffic), so the rows those queries' neighborhoods
-// keep re-fetching stay resident while the long tail pays the store
-// read.
+// micro-batching, and a policy-driven hot-node locality layer. The
+// locality layer exploits query skew: real query streams are
+// Zipf-distributed (a small popular set absorbs most traffic), so the
+// rows those queries' neighborhoods keep re-fetching should stay
+// resident while the long tail pays the store read. But a deep
+// full-neighborhood gather is also a scan — each request touches
+// hundreds of one-off frontier rows — so plain recency caching lets
+// the tail flush the hot set. The Cache interface and its Policy
+// registry make the replacement policy pluggable (lru, tinylfu,
+// midpoint, twotier), and a HubStore of precomputed per-layer hub
+// activations short-circuits the deepest gathers entirely.
 package serve
 
 import (
 	"container/list"
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"argo/internal/graph"
 )
@@ -22,9 +32,155 @@ import (
 // a byte budget remains honest for narrow feature rows.
 const cacheEntryOverheadBytes = 64
 
-// FeatureCache is a byte-bounded LRU cache of feature rows keyed by
-// global node id. It is safe for concurrent use; hit/miss/eviction
-// counters feed the server's /statz endpoint.
+// Cache is the serving layer's row-cache contract: a byte-bounded,
+// concurrency-safe map from global node id to that node's feature row.
+// Get copies into dst (grown as needed) so callers never alias cached
+// storage; Put copies the row into cache-owned storage. Stats must be
+// safe to call concurrently with Get/Put — /statz polls it while
+// Predict traffic is in flight. Close releases any policy-owned
+// resources; every implementation here is memory-only, so it exists for
+// symmetry with future disk-backed tiers.
+type Cache interface {
+	Get(id graph.NodeID, dst []float32) ([]float32, bool)
+	Put(id graph.NodeID, row []float32)
+	Stats() CacheStats
+	Close() error
+}
+
+// CacheConfig parameterises a policy factory.
+type CacheConfig struct {
+	// CapBytes bounds the whole cache (all tiers), counting row
+	// payloads plus cacheEntryOverheadBytes per entry. <= 0 disables
+	// caching: Get always misses, Put is a no-op.
+	CapBytes int64
+	// RowBytes is the expected payload size of one row (feature dim ×
+	// 4), the hint the two-tier policy uses to budget its pinned tier
+	// before any row arrives. 0 means unknown.
+	RowBytes int64
+	// Pinned lists node ids the two-tier policy pins above its tail —
+	// in priority order (degree-ranked, from graph.TopDegree). Ignored
+	// by single-tier policies.
+	Pinned []graph.NodeID
+	// TailPolicy names the policy managing the two-tier cache's
+	// unpinned tail (default tinylfu). Ignored by single-tier policies.
+	TailPolicy string
+}
+
+// PolicyFactory builds a Cache from a config.
+type PolicyFactory func(cfg CacheConfig) (Cache, error)
+
+// Built-in cache policy names.
+const (
+	PolicyLRU      = "lru"      // plain recency (the pre-policy behaviour)
+	PolicyTinyLFU  = "tinylfu"  // frequency-sketch admission over an LRU victim order
+	PolicyMidpoint = "midpoint" // segmented LRU: probation + protected
+	PolicyTwoTier  = "twotier"  // pinned top-degree rows above a policy-managed tail
+)
+
+var (
+	policyMu  sync.RWMutex
+	policyReg = map[string]PolicyFactory{}
+)
+
+func init() {
+	MustRegisterPolicy(PolicyLRU, func(cfg CacheConfig) (Cache, error) {
+		return NewFeatureCache(cfg.CapBytes), nil
+	})
+	MustRegisterPolicy(PolicyTinyLFU, newTinyLFU)
+	MustRegisterPolicy(PolicyMidpoint, newMidpoint)
+	MustRegisterPolicy(PolicyTwoTier, newTwoTier)
+}
+
+// RegisterPolicy adds a named cache policy to the registry. Names are
+// case-insensitive and must be unique; registering an empty name, a nil
+// factory, or a duplicate is an error.
+func RegisterPolicy(name string, f PolicyFactory) error {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return fmt.Errorf("serve: empty policy name")
+	}
+	if f == nil {
+		return fmt.Errorf("serve: nil factory for policy %q", name)
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policyReg[name]; dup {
+		return fmt.Errorf("serve: policy %q already registered", name)
+	}
+	policyReg[name] = f
+	return nil
+}
+
+// MustRegisterPolicy is RegisterPolicy, panicking on error — for use
+// from package init functions.
+func MustRegisterPolicy(name string, f PolicyFactory) {
+	if err := RegisterPolicy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Policies lists the registered cache policy names in sorted order.
+func Policies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	names := make([]string, 0, len(policyReg))
+	for n := range policyReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewCache instantiates a registered cache policy by name.
+func NewCache(policy string, cfg CacheConfig) (Cache, error) {
+	policyMu.RLock()
+	f, ok := policyReg[strings.ToLower(strings.TrimSpace(policy))]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown cache policy %q (registered: %s)", policy, strings.Join(Policies(), ", "))
+	}
+	return f(cfg)
+}
+
+// cacheCounters is the hit/miss accounting every policy shares. The
+// fields are atomic so the hot Get path can count without extending its
+// critical section and Stats can snapshot concurrently with traffic —
+// /statz polls Stats while Predict goroutines stream Gets.
+type cacheCounters struct {
+	hits, misses, evictions, rejections atomic.Int64
+}
+
+func (c *cacheCounters) snapshot(s *CacheStats) {
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
+	s.Evictions = c.evictions.Load()
+	s.Rejections = c.rejections.Load()
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters, shaped
+// for /statz JSON. Pinned* and Rejections are zero for policies without
+// a pinned tier or an admission filter.
+type CacheStats struct {
+	Policy        string  `json:"policy,omitempty"`
+	CapBytes      int64   `json:"cap_bytes"`
+	UsedBytes     int64   `json:"used_bytes"`
+	Entries       int     `json:"entries"`
+	PinnedEntries int     `json:"pinned_entries,omitempty"`
+	PinnedBytes   int64   `json:"pinned_bytes,omitempty"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Rejections    int64   `json:"rejections,omitempty"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// FeatureCache is the lru policy: a byte-bounded LRU cache of feature
+// rows keyed by global node id. It predates the Cache interface and is
+// retained under its original name so existing callers keep compiling;
+// new code should obtain caches through NewCache or serve.New options.
 type FeatureCache struct {
 	mu       sync.Mutex
 	capBytes int64
@@ -32,7 +188,7 @@ type FeatureCache struct {
 	ll       *list.List // front = most recently used
 	items    map[graph.NodeID]*list.Element
 
-	hits, misses, evictions int64
+	ctr cacheCounters
 }
 
 type cacheEntry struct {
@@ -55,25 +211,32 @@ func entrySize(row []float32) int64 {
 	return int64(len(row))*4 + cacheEntryOverheadBytes
 }
 
-// Get copies node id's cached row into dst (grown as needed) and
-// returns it, or (nil, false) on a miss. The copy means callers can
-// never alias — and never mutate — cached storage.
-func (c *FeatureCache) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[id]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	row := el.Value.(*cacheEntry).row
+// copyRow copies a cached row into dst, growing it as needed — the
+// copy-out every policy's Get shares, so callers can never alias (and
+// never mutate) cache-owned storage.
+func copyRow(dst, row []float32) []float32 {
 	if cap(dst) < len(row) {
 		dst = make([]float32, len(row))
 	}
 	dst = dst[:len(row)]
 	copy(dst, row)
+	return dst
+}
+
+// Get copies node id's cached row into dst (grown as needed) and
+// returns it, or (nil, false) on a miss.
+func (c *FeatureCache) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
+	c.mu.Lock()
+	el, ok := c.items[id]
+	if !ok {
+		c.mu.Unlock()
+		c.ctr.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	dst = copyRow(dst, el.Value.(*cacheEntry).row)
+	c.mu.Unlock()
+	c.ctr.hits.Add(1)
 	return dst, true
 }
 
@@ -116,36 +279,23 @@ func (c *FeatureCache) Put(id graph.NodeID, row []float32) {
 		c.ll.Remove(tail)
 		delete(c.items, ent.id)
 		c.used -= entrySize(ent.row)
-		c.evictions++
+		c.ctr.evictions.Add(1)
 	}
-}
-
-// CacheStats is a point-in-time snapshot of the cache counters, shaped
-// for /statz JSON.
-type CacheStats struct {
-	CapBytes  int64   `json:"cap_bytes"`
-	UsedBytes int64   `json:"used_bytes"`
-	Entries   int     `json:"entries"`
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Evictions int64   `json:"evictions"`
-	HitRate   float64 `json:"hit_rate"`
 }
 
 // Stats returns a snapshot of the counters.
 func (c *FeatureCache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := CacheStats{
+		Policy:    PolicyLRU,
 		CapBytes:  c.capBytes,
 		UsedBytes: c.used,
 		Entries:   c.ll.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
 	}
-	if total := s.Hits + s.Misses; total > 0 {
-		s.HitRate = float64(s.Hits) / float64(total)
-	}
+	c.mu.Unlock()
+	c.ctr.snapshot(&s)
 	return s
 }
+
+// Close implements Cache; the LRU holds no external resources.
+func (c *FeatureCache) Close() error { return nil }

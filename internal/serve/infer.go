@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"argo/internal/graph"
 	"argo/internal/nn"
@@ -118,10 +119,13 @@ type Inferencer struct {
 	graph  *graph.CSR
 	gather *sampler.FullNeighbor
 	feats  FeatureSource
-	cache  *FeatureCache
+	cache  Cache
+	hubs   *HubStore
 	pool   *tensor.Pool
 	// scratch row reused across gathers (Predict is serialised).
 	scratch []float32
+
+	hubHits atomic.Int64
 }
 
 // InferencerOptions configures NewInferencer.
@@ -129,8 +133,9 @@ type InferencerOptions struct {
 	Model    *nn.GNN
 	Graph    *graph.CSR
 	Features FeatureSource
-	// Cache, when non-nil, fronts Features with an LRU hot-node cache.
-	Cache *FeatureCache
+	// Cache, when non-nil, fronts Features with a hot-node row cache
+	// (any registered policy; see NewCache).
+	Cache Cache
 	// Workers bounds the tensor worker pool (default 1). Per-row kernel
 	// results are worker-count-independent, so this is performance-only.
 	Workers int
@@ -169,26 +174,54 @@ func (inf *Inferencer) NumClasses() int { return inf.model.Spec.Dims[len(inf.mod
 // Predict runs one forward pass for the given nodes (which must be
 // unique and in range) and returns one prediction per node, in order.
 // Logits are a pure function of (model, graph, features, node): batch
-// composition cannot change them.
+// composition cannot change them — and neither can hub serving: with a
+// HubStore attached the gather is pruned at hubs and their stored
+// per-layer activations are injected back (or, for hub targets, the
+// stored logits returned outright), bit-identical to the full pass.
 func (inf *Inferencer) Predict(nodes []graph.NodeID) ([]Prediction, error) {
 	if len(nodes) == 0 {
 		return nil, nil
 	}
 	inf.mu.Lock()
 	defer inf.mu.Unlock()
-	mb := inf.gather.Sample(nil, nodes)
+	var known func(graph.NodeID) bool
+	if inf.hubs != nil {
+		known = inf.hubs.Contains
+	}
+	mb := inf.gather.SamplePruned(nodes, known)
 	x0, err := inf.gatherFeatures(mb.InputNodes())
 	if err != nil {
 		return nil, err
+	}
+	var inject func(int, *tensor.Matrix)
+	if inf.hubs != nil {
+		inject = func(li int, x *tensor.Matrix) {
+			if li == 0 {
+				// Layer-0 inputs are raw feature rows; the gather
+				// already supplied hub rows exactly.
+				return
+			}
+			for j, v := range mb.Blocks[li].SrcNodes {
+				if a, ok := inf.hubs.Activation(li, v); ok {
+					copy(x.Row(j), a)
+				}
+			}
+		}
 	}
 	// The fused forward-only pass: bit-identical logits to Forward
 	// without materialising the intermediate aggregation matrices, and
 	// every per-batch matrix recycled through the model's pool, so a
 	// steady-state Predict allocates only the returned predictions.
-	logits := inf.model.Infer(inf.pool, mb, x0)
+	logits := inf.model.InferReuse(inf.pool, mb, x0, inject)
 	preds := make([]Prediction, len(nodes))
 	for i, v := range nodes {
 		row := logits.Row(i)
+		if hl, ok := inf.hubs.Logits(v); ok {
+			// Hub target: its pruned row holds garbage (its frontier was
+			// never gathered); the stored logits are the exact answer.
+			row = hl
+			inf.hubHits.Add(1)
+		}
 		preds[i] = Prediction{Node: v, Label: argmax(row), Logits: append([]float32(nil), row...)}
 	}
 	bufs := inf.model.Buffers()

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"argo/internal/graph"
+)
+
+// protectedFraction of the byte budget backs the protected segment; the
+// rest is probation (the classic buffer-pool midpoint split).
+const protectedFraction = 0.8
+
+// midpoint is the midpoint policy: a segmented LRU in the style of the
+// MySQL/InnoDB buffer pool. New rows enter a probation segment; only a
+// second touch promotes them into the protected segment (bounded at
+// protectedFraction of the budget, demoting its own tail back to
+// probation when it overflows). Eviction drains the probation tail
+// first, so a one-pass scan — whose rows are touched exactly once —
+// churns through probation without ever displacing the re-referenced
+// hot set sitting in protected.
+type midpoint struct {
+	mu        sync.Mutex
+	capBytes  int64
+	protCap   int64
+	used      int64
+	protUsed  int64
+	probation *list.List // front = most recently used
+	protected *list.List
+	items     map[graph.NodeID]*list.Element
+
+	ctr cacheCounters
+}
+
+type mpEntry struct {
+	id        graph.NodeID
+	row       []float32
+	protected bool
+}
+
+func newMidpoint(cfg CacheConfig) (Cache, error) {
+	return &midpoint{
+		capBytes:  cfg.CapBytes,
+		protCap:   int64(float64(cfg.CapBytes) * protectedFraction),
+		probation: list.New(),
+		protected: list.New(),
+		items:     make(map[graph.NodeID]*list.Element),
+	}, nil
+}
+
+func (c *midpoint) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
+	c.mu.Lock()
+	el, ok := c.items[id]
+	if !ok {
+		c.mu.Unlock()
+		c.ctr.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*mpEntry)
+	if ent.protected {
+		c.protected.MoveToFront(el)
+	} else {
+		// Second touch: promote out of probation.
+		c.probation.Remove(el)
+		ent.protected = true
+		c.items[id] = c.protected.PushFront(ent)
+		c.protUsed += entrySize(ent.row)
+		c.balance()
+	}
+	dst = copyRow(dst, ent.row)
+	c.mu.Unlock()
+	c.ctr.hits.Add(1)
+	return dst, true
+}
+
+// balance demotes the protected tail into probation until the protected
+// segment fits its share of the budget.
+func (c *midpoint) balance() {
+	for c.protUsed > c.protCap {
+		tail := c.protected.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*mpEntry)
+		c.protected.Remove(tail)
+		ent.protected = false
+		c.items[ent.id] = c.probation.PushFront(ent)
+		c.protUsed -= entrySize(ent.row)
+	}
+}
+
+func (c *midpoint) Put(id graph.NodeID, row []float32) {
+	size := entrySize(row)
+	if c.capBytes <= 0 || size > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		ent := el.Value.(*mpEntry)
+		if len(ent.row) != len(row) {
+			delta := size - entrySize(ent.row)
+			c.used += delta
+			if ent.protected {
+				c.protUsed += delta
+			}
+			ent.row = make([]float32, len(row))
+			copy(ent.row, row)
+			c.balance()
+		}
+		// A Put is a write-back, not a reference: no promotion, no
+		// recency bump — only Get moves rows between segments.
+	} else {
+		own := make([]float32, len(row))
+		copy(own, row)
+		c.items[id] = c.probation.PushFront(&mpEntry{id: id, row: own})
+		c.used += size
+	}
+	for c.used > c.capBytes {
+		tail := c.probation.Back()
+		seg := c.probation
+		if tail == nil {
+			tail = c.protected.Back()
+			seg = c.protected
+		}
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*mpEntry)
+		seg.Remove(tail)
+		delete(c.items, ent.id)
+		sz := entrySize(ent.row)
+		c.used -= sz
+		if ent.protected {
+			c.protUsed -= sz
+		}
+		c.ctr.evictions.Add(1)
+	}
+}
+
+func (c *midpoint) Stats() CacheStats {
+	c.mu.Lock()
+	s := CacheStats{
+		Policy:    PolicyMidpoint,
+		CapBytes:  c.capBytes,
+		UsedBytes: c.used,
+		Entries:   c.probation.Len() + c.protected.Len(),
+	}
+	c.mu.Unlock()
+	c.ctr.snapshot(&s)
+	return s
+}
+
+func (c *midpoint) Close() error { return nil }

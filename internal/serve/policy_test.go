@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"argo/internal/graph"
+)
+
+func testRow(id graph.NodeID, dim int) []float32 {
+	row := make([]float32, dim)
+	for i := range row {
+		row[i] = float32(id)*100 + float32(i)
+	}
+	return row
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	want := []string{PolicyLRU, PolicyMidpoint, PolicyTinyLFU, PolicyTwoTier}
+	got := Policies()
+	for _, name := range want {
+		found := false
+		for _, g := range got {
+			if g == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Policies() = %v, missing %q", got, name)
+		}
+	}
+	if _, err := NewCache("clock", CacheConfig{CapBytes: 1024}); err == nil {
+		t.Fatal("unknown policy did not error")
+	}
+	if err := RegisterPolicy(PolicyLRU, func(CacheConfig) (Cache, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate registration did not error")
+	}
+	if err := RegisterPolicy("", func(CacheConfig) (Cache, error) { return nil, nil }); err == nil {
+		t.Fatal("empty name did not error")
+	}
+	if err := RegisterPolicy("nilfactory", nil); err == nil {
+		t.Fatal("nil factory did not error")
+	}
+}
+
+// Every policy must satisfy the Cache contract basics: round-trip,
+// copy-out (no aliasing), stats accounting, Close.
+func TestPolicyContract(t *testing.T) {
+	const dim = 8
+	for _, name := range Policies() {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCache(name, CacheConfig{
+				CapBytes: 1 << 20,
+				RowBytes: dim * 4,
+				Pinned:   []graph.NodeID{1, 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, ok := c.Get(1, nil); ok {
+				t.Fatal("hit on empty cache")
+			}
+			row := testRow(1, dim)
+			c.Put(1, row)
+			got, ok := c.Get(1, nil)
+			if !ok || !reflect.DeepEqual(got, row) {
+				t.Fatalf("Get after Put = %v, %v", got, ok)
+			}
+			got[0] = -999
+			again, ok := c.Get(1, nil)
+			if !ok || again[0] == -999 {
+				t.Fatal("Get aliases cache-owned storage")
+			}
+			s := c.Stats()
+			if s.Policy != name {
+				t.Fatalf("Stats().Policy = %q, want %q", s.Policy, name)
+			}
+			if s.Hits < 2 || s.Misses < 1 || s.Entries != 1 || s.UsedBytes <= 0 {
+				t.Fatalf("stats off: %+v", s)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// A disabled cache (zero budget) must miss and stay empty under every
+// policy.
+func TestPolicyDisabled(t *testing.T) {
+	for _, name := range Policies() {
+		c, err := NewCache(name, CacheConfig{CapBytes: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put(1, testRow(1, 4))
+		if _, ok := c.Get(1, nil); ok {
+			t.Fatalf("%s: hit on a disabled cache", name)
+		}
+		if s := c.Stats(); s.Entries != 0 || s.UsedBytes != 0 {
+			t.Fatalf("%s: disabled cache holds data: %+v", name, s)
+		}
+	}
+}
+
+// scanCache replays a serving access pattern: a hot set referenced
+// repeatedly (hot rows recur across overlapping frontiers within a
+// round, so each sees several Gets between scans) interleaved with
+// one-pass scan traffic, Get-then-Put on miss exactly as
+// gatherFeatures does.
+func scanCache(c Cache, hot []graph.NodeID, rounds, scanLen, dim int) {
+	scan := graph.NodeID(10000)
+	for r := 0; r < rounds; r++ {
+		for rep := 0; rep < 3; rep++ {
+			for _, id := range hot {
+				if _, ok := c.Get(id, nil); !ok {
+					c.Put(id, testRow(id, dim))
+				}
+			}
+		}
+		for i := 0; i < scanLen; i++ {
+			if _, ok := c.Get(scan, nil); !ok {
+				c.Put(scan, testRow(scan, dim))
+			}
+			scan++
+		}
+	}
+}
+
+// TestScanResistance is the point of the redesign: under tinylfu and
+// midpoint a long one-pass scan must NOT flush the re-referenced hot
+// set, while plain lru — the old behaviour — demonstrably loses it.
+func TestScanResistance(t *testing.T) {
+	const dim = 8
+	hot := []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	// Budget for ~16 rows: the hot set fits, the scan does not.
+	cap := int64(16) * (dim*4 + cacheEntryOverheadBytes)
+
+	resident := func(c Cache) int {
+		n := 0
+		for _, id := range hot {
+			if _, ok := c.Get(id, nil); ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	for _, name := range []string{PolicyTinyLFU, PolicyMidpoint} {
+		c, err := NewCache(name, CacheConfig{CapBytes: cap, RowBytes: dim * 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanCache(c, hot, 40, 64, dim)
+		if n := resident(c); n != len(hot) {
+			t.Errorf("%s: scan evicted the hot set: %d/%d resident", name, n, len(hot))
+		}
+	}
+
+	lru, _ := NewCache(PolicyLRU, CacheConfig{CapBytes: cap})
+	scanCache(lru, hot, 40, 64, dim)
+	if n := resident(lru); n == len(hot) {
+		t.Error("lru unexpectedly scan-resistant; the tinylfu/midpoint assertions prove nothing")
+	}
+}
+
+// TestTinyLFUAdmissionCounts pins that rejected candidates are counted
+// and never stored.
+func TestTinyLFUAdmissionCounts(t *testing.T) {
+	const dim = 8
+	cap := int64(4) * (dim*4 + cacheEntryOverheadBytes)
+	c, err := NewCache(PolicyTinyLFU, CacheConfig{CapBytes: cap, RowBytes: dim * 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build frequency for the resident set.
+	for r := 0; r < 10; r++ {
+		for id := graph.NodeID(0); id < 4; id++ {
+			if _, ok := c.Get(id, nil); !ok {
+				c.Put(id, testRow(id, dim))
+			}
+		}
+	}
+	// Cold candidates must bounce off the admission filter.
+	for id := graph.NodeID(100); id < 130; id++ {
+		c.Get(id, nil)
+		c.Put(id, testRow(id, dim))
+	}
+	s := c.Stats()
+	if s.Rejections == 0 {
+		t.Fatalf("no admission rejections recorded: %+v", s)
+	}
+	if s.Entries != 4 {
+		t.Fatalf("entries = %d, want the 4 hot rows", s.Entries)
+	}
+	if s.UsedBytes > s.CapBytes {
+		t.Fatalf("over budget: %+v", s)
+	}
+}
+
+// TestMidpointPromotion pins segment mechanics: a once-touched row sits
+// in probation and a new-arrival wave evicts it; a twice-touched row is
+// protected and survives the same wave.
+func TestMidpointPromotion(t *testing.T) {
+	const dim = 8
+	cap := int64(8) * (dim*4 + cacheEntryOverheadBytes)
+	c, err := NewCache(PolicyMidpoint, CacheConfig{CapBytes: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(1, testRow(1, dim)) // probation only
+	c.Put(2, testRow(2, dim))
+	c.Get(2, nil) // promoted to protected
+	for id := graph.NodeID(50); id < 70; id++ {
+		c.Put(id, testRow(id, dim))
+	}
+	if _, ok := c.Get(1, nil); ok {
+		t.Error("once-touched row survived a probation flush")
+	}
+	if _, ok := c.Get(2, nil); !ok {
+		t.Error("protected row lost to one-touch arrivals")
+	}
+}
+
+// TestTwoTierPinningAndBudget pins the two-tier invariants: pinned rows
+// are never evicted no matter the traffic, and the combined byte budget
+// holds across tiers with the pinned tier at most half.
+func TestTwoTierPinningAndBudget(t *testing.T) {
+	const dim = 8
+	rowBytes := int64(dim * 4)
+	pinned := []graph.NodeID{1, 2, 3, 4}
+	cap := int64(20) * (rowBytes + cacheEntryOverheadBytes)
+	c, err := NewCache(PolicyTwoTier, CacheConfig{
+		CapBytes: cap,
+		RowBytes: rowBytes,
+		Pinned:   pinned,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range pinned {
+		c.Put(id, testRow(id, dim))
+	}
+	// Hostile traffic: a large scan plus repeated references that would
+	// dominate any recency or frequency order.
+	for r := 0; r < 20; r++ {
+		for id := graph.NodeID(100); id < 200; id++ {
+			if _, ok := c.Get(id, nil); !ok {
+				c.Put(id, testRow(id, dim))
+			}
+		}
+	}
+	for _, id := range pinned {
+		got, ok := c.Get(id, nil)
+		if !ok {
+			t.Fatalf("pinned node %d evicted", id)
+		}
+		if !reflect.DeepEqual(got, testRow(id, dim)) {
+			t.Fatalf("pinned node %d row corrupted", id)
+		}
+	}
+	s := c.Stats()
+	if s.UsedBytes > s.CapBytes {
+		t.Fatalf("combined tiers over budget: %+v", s)
+	}
+	if s.PinnedEntries != len(pinned) {
+		t.Fatalf("pinned entries = %d, want %d", s.PinnedEntries, len(pinned))
+	}
+	if s.PinnedBytes > cap/2 {
+		t.Fatalf("pinned tier exceeds half the budget: %+v", s)
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("tier stats not merged: %+v", s)
+	}
+}
+
+// TestTwoTierPinnedOverflowFallsToTail: pinned ids beyond the reserved
+// budget still get cached (in the tail) rather than dropped.
+func TestTwoTierPinnedOverflowFallsToTail(t *testing.T) {
+	const dim = 8
+	rowBytes := int64(dim * 4)
+	// Budget for 4 rows total → pinned reserve covers ~2 of 4 pinned ids.
+	cap := int64(4) * (rowBytes + cacheEntryOverheadBytes)
+	c, err := NewCache(PolicyTwoTier, CacheConfig{
+		CapBytes: cap,
+		RowBytes: rowBytes,
+		Pinned:   []graph.NodeID{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := graph.NodeID(1); id <= 4; id++ {
+		c.Put(id, testRow(id, dim))
+	}
+	s := c.Stats()
+	if s.PinnedBytes > cap/2 {
+		t.Fatalf("pinned reserve overflowed: %+v", s)
+	}
+	if s.Entries <= s.PinnedEntries {
+		t.Fatalf("overflow pinned ids were dropped, not tailed: %+v", s)
+	}
+}
+
+// TestCacheConcurrentStats drives Get/Put/Stats from many goroutines on
+// every policy — the counter-synchronization fix; run with -race.
+func TestCacheConcurrentStats(t *testing.T) {
+	const dim = 8
+	for _, name := range Policies() {
+		c, err := NewCache(name, CacheConfig{
+			CapBytes: 1 << 16,
+			RowBytes: dim * 4,
+			Pinned:   []graph.NodeID{0, 1, 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed graph.NodeID) {
+				defer wg.Done()
+				var buf []float32
+				for i := 0; i < 500; i++ {
+					id := (seed*500 + graph.NodeID(i)) % 97
+					if _, ok := c.Get(id, buf); !ok {
+						c.Put(id, testRow(id, dim))
+					}
+				}
+			}(graph.NodeID(w))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := c.Stats()
+				if s.UsedBytes > s.CapBytes {
+					panic(fmt.Sprintf("%s: over budget mid-flight: %+v", name, s))
+				}
+			}
+		}()
+		wg.Wait()
+		c.Close()
+	}
+}

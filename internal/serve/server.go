@@ -34,7 +34,9 @@ type StatzResponse struct {
 	NumClasses    int          `json:"num_classes"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Requests      int64        `json:"http_requests"`
+	CachePolicy   string       `json:"cache_policy,omitempty"`
 	Cache         CacheStats   `json:"cache"`
+	Hubs          HubStats     `json:"hubs"`
 	Batcher       BatcherStats `json:"batcher"`
 }
 
@@ -50,7 +52,9 @@ type Server struct {
 }
 
 // NewServer wires the handler around an inferencer. modelKind is a
-// label for /statz (e.g. "sage").
+// label for /statz (e.g. "sage"). Most callers should use New, which
+// assembles the cache, hub store, and batcher from options; NewServer
+// remains for pre-built inferencers.
 func NewServer(inf *Inferencer, cfg BatcherConfig, modelKind string) *Server {
 	s := &Server{
 		inf:     inf,
@@ -72,9 +76,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // the serving stack without HTTP overhead).
 func (s *Server) Batcher() *Batcher { return s.batcher }
 
-// Close drains the batcher: in-flight requests finish, new predict
-// calls get 503. Call after http.Server.Shutdown.
-func (s *Server) Close() { s.batcher.Close() }
+// Inferencer exposes the wrapped inferencer (benchmarks and tests
+// reach through it for cache and hub statistics).
+func (s *Server) Inferencer() *Inferencer { return s.inf }
+
+// Close drains the batcher — in-flight requests finish, new predict
+// calls get 503 — then closes the cache. Call after
+// http.Server.Shutdown.
+func (s *Server) Close() {
+	s.batcher.Close()
+	if s.inf.cache != nil {
+		_ = s.inf.cache.Close()
+	}
+}
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -117,6 +131,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	cache := s.inf.CacheStats()
 	writeJSON(w, http.StatusOK, StatzResponse{
 		Model:         s.kind,
 		Layers:        s.inf.model.NumLayers(),
@@ -124,7 +139,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		NumClasses:    s.inf.NumClasses(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.reqs.Load(),
-		Cache:         s.inf.CacheStats(),
+		CachePolicy:   cache.Policy,
+		Cache:         cache,
+		Hubs:          s.inf.HubStats(),
 		Batcher:       s.batcher.Stats(),
 	})
 }

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"argo/internal/graph"
+)
+
+// cmSketch is the frequency half of TinyLFU admission: a 4-row
+// count-min sketch of 8-bit counters with periodic halving, so recent
+// popularity dominates and one-off scan traffic decays to noise. The
+// hashing is a fixed Murmur-style finaliser plus Kirsch-Mitzenmacher
+// double hashing — no per-process seed — so a replayed request stream
+// produces bit-identical admission decisions (the -stable bench and the
+// CI hit-rate gate rely on that).
+type cmSketch struct {
+	rows    [cmDepth][]uint8
+	mask    uint64
+	samples int64 // increments since the last halving
+	window  int64 // halve when samples reaches this
+}
+
+const cmDepth = 4
+
+func newCMSketch(entries int) *cmSketch {
+	if entries < 1 {
+		entries = 1
+	}
+	width := 1
+	for width < entries*8 {
+		width <<= 1
+	}
+	if width < 1024 {
+		width = 1024
+	}
+	s := &cmSketch{mask: uint64(width - 1), window: int64(entries) * 10}
+	if s.window < 10240 {
+		s.window = 10240
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, width)
+	}
+	return s
+}
+
+// mix is the splitmix64 finaliser: a deterministic avalanche of the
+// 32-bit node id into 64 well-distributed bits.
+func mix(id graph.NodeID) uint64 {
+	x := uint64(uint32(id))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (s *cmSketch) index(h uint64, row int) uint64 {
+	// Kirsch-Mitzenmacher: two halves of one hash generate all rows.
+	return (h + uint64(row)*(h>>32|1)) & s.mask
+}
+
+// touch records one observation of id, halving every counter once the
+// sample window fills (the aging that keeps the sketch tracking recent
+// frequency rather than all-time frequency).
+func (s *cmSketch) touch(id graph.NodeID) {
+	h := mix(id)
+	for i := range s.rows {
+		c := &s.rows[i][s.index(h, i)]
+		if *c < 255 {
+			*c++
+		}
+	}
+	s.samples++
+	if s.samples >= s.window {
+		for i := range s.rows {
+			for j := range s.rows[i] {
+				s.rows[i][j] >>= 1
+			}
+		}
+		s.samples >>= 1
+	}
+}
+
+// estimate returns the sketch's (over-)estimate of id's frequency.
+func (s *cmSketch) estimate(id graph.NodeID) uint8 {
+	h := mix(id)
+	est := uint8(255)
+	for i := range s.rows {
+		if c := s.rows[i][s.index(h, i)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// tinyLFU is the tinylfu policy: LRU victim ordering guarded by
+// frequency-sketch admission. Every Get — hit or miss — records the id
+// in the sketch; a Put that would force an eviction is admitted only if
+// the candidate's estimated frequency exceeds the LRU victim's. A
+// one-pass scan therefore bounces off the admission filter (each scan
+// row has frequency ~1, the resident hot set more) instead of flushing
+// the cache — the scan resistance plain LRU lacks.
+type tinyLFU struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	ll       *list.List
+	items    map[graph.NodeID]*list.Element
+	sketch   *cmSketch
+
+	ctr cacheCounters
+}
+
+func newTinyLFU(cfg CacheConfig) (Cache, error) {
+	rowBytes := cfg.RowBytes
+	if rowBytes <= 0 {
+		rowBytes = 256
+	}
+	entries := int(cfg.CapBytes / (rowBytes + cacheEntryOverheadBytes))
+	return &tinyLFU{
+		capBytes: cfg.CapBytes,
+		ll:       list.New(),
+		items:    make(map[graph.NodeID]*list.Element),
+		sketch:   newCMSketch(entries),
+	}, nil
+}
+
+func (c *tinyLFU) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
+	c.mu.Lock()
+	c.sketch.touch(id)
+	el, ok := c.items[id]
+	if !ok {
+		c.mu.Unlock()
+		c.ctr.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	dst = copyRow(dst, el.Value.(*cacheEntry).row)
+	c.mu.Unlock()
+	c.ctr.hits.Add(1)
+	return dst, true
+}
+
+func (c *tinyLFU) Put(id graph.NodeID, row []float32) {
+	size := entrySize(row)
+	if c.capBytes <= 0 || size > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		ent := el.Value.(*cacheEntry)
+		if len(ent.row) != len(row) {
+			c.used -= entrySize(ent.row)
+			ent.row = make([]float32, len(row))
+			copy(ent.row, row)
+			c.used += size
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	// Admission: evictions only happen in the candidate's favour. While
+	// over budget, compare the candidate against the current LRU victim;
+	// a candidate the sketch ranks no higher is rejected outright.
+	for c.used+size > c.capBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*cacheEntry)
+		if c.sketch.estimate(id) <= c.sketch.estimate(victim.id) {
+			c.ctr.rejections.Add(1)
+			return
+		}
+		c.ll.Remove(tail)
+		delete(c.items, victim.id)
+		c.used -= entrySize(victim.row)
+		c.ctr.evictions.Add(1)
+	}
+	own := make([]float32, len(row))
+	copy(own, row)
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, row: own})
+	c.used += size
+}
+
+func (c *tinyLFU) Stats() CacheStats {
+	c.mu.Lock()
+	s := CacheStats{
+		Policy:    PolicyTinyLFU,
+		CapBytes:  c.capBytes,
+		UsedBytes: c.used,
+		Entries:   c.ll.Len(),
+	}
+	c.mu.Unlock()
+	c.ctr.snapshot(&s)
+	return s
+}
+
+func (c *tinyLFU) Close() error { return nil }

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"sync"
+
+	"argo/internal/graph"
+)
+
+// twoTier is the twotier policy: a pinned tier of top-degree rows above
+// a policy-managed tail. High-degree nodes appear in a constant
+// fraction of all k-hop frontiers — on a power-law graph they are the
+// most re-fetched rows by construction — so the pinned tier stores them
+// permanently (never evicted, whatever the request stream does) while
+// the tail cache chases the residual, flatter distribution with its own
+// policy (default tinylfu). The pinned set comes from
+// graph.TopDegree via CacheConfig.Pinned; its budget is bounded at half
+// the total so the tail always retains room to adapt.
+type twoTier struct {
+	capBytes  int64
+	reserve   int64 // byte budget carved out for the pinned tier
+	pinnedSet map[graph.NodeID]bool
+
+	mu         sync.Mutex
+	pinned     map[graph.NodeID][]float32
+	pinnedUsed int64
+
+	tail Cache
+	ctr  cacheCounters // pinned-tier hits/misses only; tail keeps its own
+}
+
+func newTwoTier(cfg CacheConfig) (Cache, error) {
+	reserve := cfg.CapBytes / 2
+	if cfg.RowBytes > 0 {
+		if want := int64(len(cfg.Pinned)) * (cfg.RowBytes + cacheEntryOverheadBytes); want < reserve {
+			reserve = want
+		}
+	}
+	if len(cfg.Pinned) == 0 {
+		reserve = 0
+	}
+	tailPolicy := cfg.TailPolicy
+	if tailPolicy == "" {
+		tailPolicy = PolicyTinyLFU
+	}
+	tail, err := NewCache(tailPolicy, CacheConfig{
+		CapBytes: cfg.CapBytes - reserve,
+		RowBytes: cfg.RowBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[graph.NodeID]bool, len(cfg.Pinned))
+	for _, id := range cfg.Pinned {
+		set[id] = true
+	}
+	return &twoTier{
+		capBytes:  cfg.CapBytes,
+		reserve:   reserve,
+		pinnedSet: set,
+		pinned:    make(map[graph.NodeID][]float32, len(cfg.Pinned)),
+		tail:      tail,
+	}, nil
+}
+
+func (c *twoTier) Get(id graph.NodeID, dst []float32) ([]float32, bool) {
+	if c.pinnedSet[id] {
+		c.mu.Lock()
+		row, ok := c.pinned[id]
+		if ok {
+			dst = copyRow(dst, row)
+			c.mu.Unlock()
+			c.ctr.hits.Add(1)
+			return dst, true
+		}
+		c.mu.Unlock()
+		// A pinned id not yet resident falls through to the tail — it
+		// may have been Put there before the pinned tier saw it, and
+		// counting the miss is the tail's job either way.
+	}
+	return c.tail.Get(id, dst)
+}
+
+func (c *twoTier) Put(id graph.NodeID, row []float32) {
+	if c.pinnedSet[id] {
+		size := entrySize(row)
+		c.mu.Lock()
+		if old, ok := c.pinned[id]; ok {
+			if len(old) != len(row) {
+				c.pinnedUsed += size - entrySize(old)
+				c.pinned[id] = append([]float32(nil), row...)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if c.pinnedUsed+size <= c.reserve {
+			c.pinned[id] = append([]float32(nil), row...)
+			c.pinnedUsed += size
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		// Pinned budget exhausted (RowBytes hint was low, or the pinned
+		// list outsizes half the cache): overflow ids live in the tail.
+	}
+	c.tail.Put(id, row)
+}
+
+func (c *twoTier) Stats() CacheStats {
+	ts := c.tail.Stats()
+	c.mu.Lock()
+	s := CacheStats{
+		Policy:        PolicyTwoTier,
+		CapBytes:      c.capBytes,
+		UsedBytes:     c.pinnedUsed + ts.UsedBytes,
+		Entries:       len(c.pinned) + ts.Entries,
+		PinnedEntries: len(c.pinned),
+		PinnedBytes:   c.pinnedUsed,
+	}
+	c.mu.Unlock()
+	c.ctr.snapshot(&s)
+	s.Hits += ts.Hits
+	s.Misses += ts.Misses
+	s.Evictions = ts.Evictions
+	s.Rejections = ts.Rejections
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	} else {
+		s.HitRate = 0
+	}
+	return s
+}
+
+func (c *twoTier) Close() error { return c.tail.Close() }
