@@ -184,6 +184,8 @@ func main() {
 	serveHubPin := flag.Float64("hub-pin", 0.01, "serving benchmark: top-degree fraction pinned by the twotier policy")
 	servePrecompute := flag.Float64("precompute-hubs", 0, "serving benchmark: top-degree fraction with precomputed activations (0 disables hub serving)")
 	serveZipfS := flag.Float64("zipf-s", 2.0, "serving benchmark: skew of the zipf query stream (must be > 1)")
+	featDtypeFlag := flag.String("feat-dtype", "fp32",
+		"-exchange/-serve workload feature dtype: fp32 or fp16 (fp16 converts each workload once up front, making the store dtype drive the wire format and cache packing)")
 	kernelsFlag := flag.Bool("kernels", false,
 		"run the kernel benchmark (degree-aware chunk balance + pooled forward timings on a synthetic power-law graph) and merge a \"kernels\" section into the JSON artifact")
 	kernelWorkers := flag.Int("kernel-workers", 8,
@@ -207,7 +209,7 @@ func main() {
 		if jp == "BENCH_argo.json" {
 			jp = "BENCH_exchange.json" // don't clobber the strategy artifact by default
 		}
-		if err := benchExchange(*datasetFlag, *transport, jp, *stable, os.Stdout); err != nil {
+		if err := benchExchange(*datasetFlag, *transport, *featDtypeFlag, jp, *stable, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -228,6 +230,7 @@ func main() {
 			HubPin:      *serveHubPin,
 			Precompute:  *servePrecompute,
 			ZipfS:       *serveZipfS,
+			FeatDtype:   *featDtypeFlag,
 			JSONPath:    *jsonPath,
 			Stable:      *stable,
 		}, os.Stdout); err != nil {
@@ -439,12 +442,13 @@ func benchStrategies(which, datasetFlag string, samplers []benchSampler, searche
 // 2-replica training run's batched halo-exchange traffic on one
 // workload. Every count is deterministic for a fixed seed.
 type exchangeBench struct {
-	Dataset  string            `json:"dataset"`
-	Shards   int               `json:"shards"`
-	Replicas int               `json:"replicas"`
-	Epochs   int               `json:"epochs"`
-	EdgeCut  int64             `json:"edge_cut_arcs"`
-	Exchange ddp.ExchangeStats `json:"exchange"`
+	Dataset   string            `json:"dataset"`
+	Shards    int               `json:"shards"`
+	Replicas  int               `json:"replicas"`
+	Epochs    int               `json:"epochs"`
+	FeatDtype string            `json:"feat_dtype"`
+	EdgeCut   int64             `json:"edge_cut_arcs"`
+	Exchange  ddp.ExchangeStats `json:"exchange"`
 	// PerRowMessages is what the per-row baseline would have sent: one
 	// message per remote row. Reduction = PerRowMessages / Messages.
 	PerRowMessages int64   `json:"per_row_messages"`
@@ -455,7 +459,11 @@ type exchangeBench struct {
 // benchExchange shards each workload (k=4), trains two epochs on two
 // replicas over the selected transport, and reports the batched
 // exchange's traffic next to the per-row baseline it replaced.
-func benchExchange(datasetFlag, transport, jsonPath string, stable bool, w *os.File) error {
+func benchExchange(datasetFlag, transport, featDtype, jsonPath string, stable bool, w *os.File) error {
+	dt, err := graph.ParseFeatDtype(featDtype)
+	if err != nil {
+		return err
+	}
 	var names []string
 	if datasetFlag == "all" {
 		names = datasets.PaperNames()
@@ -482,6 +490,11 @@ func benchExchange(datasetFlag, transport, jsonPath string, stable bool, w *os.F
 	for _, name := range names {
 		ds, err := datasets.Resolve(name, seed)
 		if err != nil {
+			return err
+		}
+		// Converting before sharding makes the shard manifest carry the
+		// dtype, which is what negotiates the fp16 wire format downstream.
+		if err := ds.ConvertFeatures(dt); err != nil {
 			return err
 		}
 		ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: shards, Seed: seed})
@@ -528,6 +541,7 @@ func benchExchange(datasetFlag, transport, jsonPath string, stable bool, w *os.F
 			Shards:         shards,
 			Replicas:       replicas,
 			Epochs:         epochs,
+			FeatDtype:      dt.String(),
 			EdgeCut:        ss.Manifest.TotalCutArcs(),
 			Exchange:       ex.Summary(),
 			PerRowMessages: ex.TotalStats().RemoteRows,
@@ -540,9 +554,9 @@ func benchExchange(datasetFlag, transport, jsonPath string, stable bool, w *os.F
 			row.WallSeconds = 0
 		}
 		out.Exchange = append(out.Exchange, row)
-		fmt.Fprintf(w, "%-16s %s: %d remote rows, %d bytes in %d messages (per-row baseline %d → %.1f× fewer)\n",
-			name, transport, row.Exchange.RemoteRows, row.Exchange.RemoteBytes,
-			row.Exchange.Messages, row.PerRowMessages, row.Reduction)
+		fmt.Fprintf(w, "%-16s %s %s: %d remote rows, %d logical bytes → %d wire bytes in %d messages (per-row baseline %d → %.1f× fewer)\n",
+			name, transport, dt, row.Exchange.RemoteRows, row.Exchange.RemoteBytes,
+			row.Exchange.WireBytes, row.Exchange.Messages, row.PerRowMessages, row.Reduction)
 		ex.Close()
 		ss.Close()
 	}

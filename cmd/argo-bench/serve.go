@@ -21,30 +21,35 @@ import (
 // policy-driven hot-node cache, micro-batcher), driven in-process so
 // the numbers measure the serving path rather than HTTP framing.
 type serveBench struct {
-	Dataset          string  `json:"dataset"`
-	Policy           string  `json:"policy"`
-	Workload         string  `json:"workload"` // zipf or uniform
-	Hops             int     `json:"hops"`
-	Requests         int     `json:"requests"`
-	RequestNodes     int     `json:"request_nodes"`
-	Concurrency      int     `json:"concurrency"`
-	OpenLoopRPS      float64 `json:"open_loop_rps,omitempty"`
-	ZipfS            float64 `json:"zipf_s,omitempty"` // zipf rows only
-	CacheBytes       int64   `json:"cache_bytes"`
-	CacheHitRate     float64 `json:"cache_hit_rate"`
-	CacheEvictions   int64   `json:"cache_evictions"`
-	CacheRejections  int64   `json:"cache_rejections,omitempty"`
-	PinnedEntries    int     `json:"pinned_entries,omitempty"`
-	HubNodes         int     `json:"hub_nodes,omitempty"`
-	HubHits          int64   `json:"hub_hits,omitempty"`
-	Batches          int64   `json:"batches"`
-	MeanBatchNodes   float64 `json:"mean_batch_nodes"`
-	ThroughputRPS    float64 `json:"throughput_rps"`
-	LatencyP50Micros float64 `json:"latency_p50_micros"`
-	LatencyP95Micros float64 `json:"latency_p95_micros"`
-	LatencyP99Micros float64 `json:"latency_p99_micros"`
-	LatencyMaxMicros float64 `json:"latency_max_micros"`
-	WallSeconds      float64 `json:"wall_seconds"`
+	Dataset      string  `json:"dataset"`
+	Policy       string  `json:"policy"`
+	Workload     string  `json:"workload"` // zipf or uniform
+	Hops         int     `json:"hops"`
+	Requests     int     `json:"requests"`
+	RequestNodes int     `json:"request_nodes"`
+	Concurrency  int     `json:"concurrency"`
+	OpenLoopRPS  float64 `json:"open_loop_rps,omitempty"`
+	ZipfS        float64 `json:"zipf_s,omitempty"` // zipf rows only
+	CacheBytes   int64   `json:"cache_bytes"`
+	FeatDtype    string  `json:"feat_dtype"`
+	// CachedRowCapacity is how many feature rows the cache budget holds
+	// under the workload's storage dtype (pure arithmetic, byte-stable):
+	// fp16 packing roughly doubles it for the same CacheBytes.
+	CachedRowCapacity int64   `json:"cached_row_capacity"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	CacheEvictions    int64   `json:"cache_evictions"`
+	CacheRejections   int64   `json:"cache_rejections,omitempty"`
+	PinnedEntries     int     `json:"pinned_entries,omitempty"`
+	HubNodes          int     `json:"hub_nodes,omitempty"`
+	HubHits           int64   `json:"hub_hits,omitempty"`
+	Batches           int64   `json:"batches"`
+	MeanBatchNodes    float64 `json:"mean_batch_nodes"`
+	ThroughputRPS     float64 `json:"throughput_rps"`
+	LatencyP50Micros  float64 `json:"latency_p50_micros"`
+	LatencyP95Micros  float64 `json:"latency_p95_micros"`
+	LatencyP99Micros  float64 `json:"latency_p99_micros"`
+	LatencyMaxMicros  float64 `json:"latency_max_micros"`
+	WallSeconds       float64 `json:"wall_seconds"`
 }
 
 // mergedBench is benchJSON plus the serve section. benchServe reads the
@@ -75,6 +80,7 @@ type serveBenchConfig struct {
 	HubPin      float64 // -hub-pin
 	Precompute  float64 // -precompute-hubs
 	ZipfS       float64 // -zipf-s: skew of the zipf query stream
+	FeatDtype   string  // -feat-dtype: workload feature storage dtype
 	JSONPath    string  // -json
 	Stable      bool    // -stable
 }
@@ -116,11 +122,20 @@ func benchServe(cfg serveBenchConfig, w *os.File) error {
 	if cfg.Requests < 1 || cfg.ReqNodes < 1 || cfg.Concurrency < 1 || cfg.Hops < 1 {
 		return fmt.Errorf("-requests, -req-nodes, -concurrency, and -hops must be positive")
 	}
+	dt, err := graph.ParseFeatDtype(cfg.FeatDtype)
+	if err != nil {
+		return err
+	}
 	const seed = 7
 	var rows []serveBench
 	for _, name := range names {
 		ds, err := datasets.Resolve(name, seed)
 		if err != nil {
+			return err
+		}
+		// One up-front rounding pass; the source tag below then lets the
+		// serving cache pack rows losslessly.
+		if err := ds.ConvertFeatures(dt); err != nil {
 			return err
 		}
 		if cfg.ReqNodes > ds.Graph.NumNodes {
@@ -200,7 +215,7 @@ func runServeWorkload(dsName, workload, policy string, ds *graph.Dataset, model 
 		// and the cache trace is deterministic; otherwise coalesce.
 		opts = append(opts, serve.WithBatchWindow(2*time.Millisecond), serve.WithBatchMaxNodes(256))
 	}
-	srv, err := serve.New(serve.Source{Graph: ds.Graph, Features: serve.NewMatrixFeatureSource(ds.Features)}, model, opts...)
+	srv, err := serve.New(serve.Source{Graph: ds.Graph, Features: serve.NewMatrixFeatureSourceDtype(ds.Features, ds.FeatDtype)}, model, opts...)
 	if err != nil {
 		return serveBench{}, err
 	}
@@ -314,23 +329,25 @@ func runServeWorkload(dsName, workload, policy string, ds *graph.Dataset, model 
 	hs := srv.Inferencer().HubStats()
 	bs := b.Stats()
 	row := serveBench{
-		Dataset:         dsName,
-		Policy:          policy,
-		Workload:        workload,
-		Hops:            cfg.Hops,
-		Requests:        cfg.Requests,
-		RequestNodes:    cfg.ReqNodes,
-		Concurrency:     cfg.Concurrency,
-		OpenLoopRPS:     cfg.Rate,
-		CacheBytes:      cfg.CacheBytes,
-		CacheHitRate:    cs.HitRate,
-		CacheEvictions:  cs.Evictions,
-		CacheRejections: cs.Rejections,
-		PinnedEntries:   cs.PinnedEntries,
-		HubNodes:        hs.Nodes,
-		HubHits:         hs.Hits,
-		Batches:         bs.Batches,
-		MeanBatchNodes:  bs.MeanBatchNodes,
+		Dataset:           dsName,
+		Policy:            policy,
+		Workload:          workload,
+		Hops:              cfg.Hops,
+		Requests:          cfg.Requests,
+		RequestNodes:      cfg.ReqNodes,
+		Concurrency:       cfg.Concurrency,
+		OpenLoopRPS:       cfg.Rate,
+		CacheBytes:        cfg.CacheBytes,
+		FeatDtype:         ds.FeatDtype.String(),
+		CachedRowCapacity: serve.EffectiveRowCapacity(cfg.CacheBytes, ds.Features.Cols, ds.FeatDtype),
+		CacheHitRate:      cs.HitRate,
+		CacheEvictions:    cs.Evictions,
+		CacheRejections:   cs.Rejections,
+		PinnedEntries:     cs.PinnedEntries,
+		HubNodes:          hs.Nodes,
+		HubHits:           hs.Hits,
+		Batches:           bs.Batches,
+		MeanBatchNodes:    bs.MeanBatchNodes,
 	}
 	if workload == "zipf" {
 		row.ZipfS = cfg.ZipfS

@@ -46,10 +46,14 @@ Subcommands:
                              convert an edge-list/CSV dump into an .argograph store
   inspect <file>             print a stored dataset's statistics and section layout
                              (lazy: topology and feature bytes are never read)
-  verify <file>              check section table, checksums, and graph invariants;
-                             on a manifest-carrying shard store, also validate the
+  verify <file>              check section table, checksums, and graph invariants
+                             (fp16 stores: every value finite and fp16-exact); on a
+                             manifest-carrying shard store, also validate the
                              whole shard set (coverage, disjointness, halo edges)
   upgrade <file> [-o <out>]  rewrite a v1 store in the sectioned v2 format
+  convert <file> -feat-dtype fp32|fp16 [-o <out>]
+                             re-encode the store's features in the given dtype
+                             (fp16 halves the features section; idempotent)
 
 Registered profiles: %s
 `, strings.Join(datasets.Names(), ", "))
@@ -76,6 +80,8 @@ func main() {
 		err = runVerify(os.Args[2:])
 	case "upgrade":
 		err = runUpgrade(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -111,9 +117,14 @@ func runGen(args []string) error {
 	nodes := fs.Int("nodes", 0, "override node count (after -scale; 0 = keep)")
 	edges := fs.Int64("edges", 0, "override undirected edge target (after -scale; 0 = keep)")
 	feat := fs.Int("feat", 0, "override feature width F0 (0 = keep)")
+	featDtype := fs.String("feat-dtype", "fp32", "feature storage dtype: fp32 or fp16 (fp16 rounds once at generation)")
 	fs.Parse(args)
 	if *name == "" || *out == "" {
 		return fmt.Errorf("gen needs -dataset and -o (try: argo-data gen -dataset arxiv-sim -o arxiv.argograph)")
+	}
+	dt, err := graph.ParseFeatDtype(*featDtype)
+	if err != nil {
+		return err
 	}
 	if *scale < 1 {
 		return fmt.Errorf("-scale must be ≥ 1, got %d", *scale)
@@ -137,6 +148,9 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := ds.ConvertFeatures(dt); err != nil {
+		return err
+	}
 	genTime := time.Since(start)
 	start = time.Now()
 	if err := ds.Save(*out); err != nil {
@@ -146,8 +160,8 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s (seed %d): %d nodes, %d arcs, %d classes → %s (%d bytes, format v2)\n",
-		spec.Name, *seed, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, *out, fi.Size())
+	fmt.Printf("%s (seed %d): %d nodes, %d arcs, %d classes, %s features → %s (%d bytes, format v2)\n",
+		spec.Name, *seed, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, ds.FeatDtype, *out, fi.Size())
 	fmt.Printf("generated in %s, saved in %s\n", genTime.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 	return nil
 }
@@ -229,6 +243,7 @@ func runImport(args []string) error {
 	classes := fs.Int("classes", 4, "synthesised class count (ignored with -labels)")
 	trainFrac := fs.Float64("train-frac", 0.5, "training split fraction; val/test halve the rest")
 	seed := fs.Int64("seed", 1, "seed for synthesis and the split shuffle")
+	featDtype := fs.String("feat-dtype", "fp32", "feature storage dtype: fp32 or fp16 (fp16 rounds once at import)")
 	// Accept both `import edges.csv -o out` and `import -o out edges.csv`.
 	var src string
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -243,6 +258,10 @@ func runImport(args []string) error {
 	}
 	if src == "" || *out == "" {
 		return fmt.Errorf("import needs an edge-list file and -o (try: argo-data import edges.csv -o mygraph.argograph)")
+	}
+	dt, err := graph.ParseFeatDtype(*featDtype)
+	if err != nil {
+		return err
 	}
 	if *name == "" {
 		*name = strings.TrimSuffix(filepath.Base(src), filepath.Ext(src))
@@ -278,6 +297,9 @@ func runImport(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := ds.ConvertFeatures(dt); err != nil {
+		return err
+	}
 	importTime := time.Since(start)
 	start = time.Now()
 	if err := ds.Save(*out); err != nil {
@@ -298,8 +320,8 @@ func runImport(args []string) error {
 	if len(synth) > 0 {
 		note = " (synthesised: " + strings.Join(synth, ", ") + ")"
 	}
-	fmt.Printf("%s: %d nodes, %d arcs, %d classes, %d-wide features%s → %s (%d bytes, format v2)\n",
-		ds.Spec.Name, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, ds.Features.Cols, note, *out, fi.Size())
+	fmt.Printf("%s: %d nodes, %d arcs, %d classes, %d-wide %s features%s → %s (%d bytes, format v2)\n",
+		ds.Spec.Name, ds.Graph.NumNodes, ds.Graph.NumEdges(), ds.NumClasses, ds.Features.Cols, ds.FeatDtype, note, *out, fi.Size())
 	fmt.Printf("splits: %d train / %d val / %d test; imported in %s, saved in %s\n",
 		len(ds.TrainIdx), len(ds.ValIdx), len(ds.TestIdx),
 		importTime.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
@@ -337,7 +359,7 @@ func runInspect(args []string) error {
 	fmt.Printf("graph:      %d nodes, %d arcs, avg degree %.1f, max degree %d\n",
 		st.NumNodes, st.NumArcs, st.AvgDegree, st.MaxDegree)
 	if st.FeatRows > 0 {
-		fmt.Printf("features:   %d × %d float32\n", st.FeatRows, st.FeatCols)
+		fmt.Printf("features:   %d × %d %s (decodes to float32)\n", st.FeatRows, st.FeatCols, lz.FeatDtype())
 	}
 	if st.NumClasses > 0 {
 		fmt.Printf("labels:     %d classes\n", st.NumClasses)
@@ -365,9 +387,15 @@ func runInspect(args []string) error {
 	}
 	if secs := lz.Sections(); len(secs) > 0 {
 		fmt.Printf("sections:\n")
-		fmt.Printf("  %-10s %12s %14s %10s\n", "NAME", "OFFSET", "LENGTH", "CRC32C")
+		fmt.Printf("  %-10s %12s %14s %14s %10s\n", "NAME", "OFFSET", "ON-DISK", "DECODED", "CRC32C")
 		for _, s := range secs {
-			fmt.Printf("  %-10s %12d %14d %10x\n", s.Name, s.Offset, s.Length, s.CRC)
+			// Every section decodes 1:1 except fp16 features, which widen
+			// to float32 rows (same 16-byte dims header, doubled payload).
+			decoded := s.Length
+			if s.Name == "features16" {
+				decoded = 16 + uint64(st.FeatRows)*uint64(st.FeatCols)*4
+			}
+			fmt.Printf("  %-10s %12d %14d %14d %10x\n", s.Name, s.Offset, s.Length, decoded, s.CRC)
 		}
 	}
 	return nil
@@ -391,8 +419,8 @@ func runVerify(args []string) error {
 		return err
 	}
 	st := check.Stats
-	fmt.Printf("%s: OK (format v%d %s, %d nodes, %d arcs, %d classes, %d sections, checksums + invariants verified)\n",
-		args[0], check.Version, check.Kind, st.NumNodes, st.NumArcs, st.NumClasses, len(check.Sections))
+	fmt.Printf("%s: OK (format v%d %s, %d nodes, %d arcs, %d classes, %s features, %d sections, checksums + invariants verified)\n",
+		args[0], check.Version, check.Kind, st.NumNodes, st.NumArcs, st.NumClasses, check.FeatDtype, len(check.Sections))
 	// A manifest-carrying store is a shard-set handle: validate the set
 	// end to end too (topology-only — feature bytes stay untouched).
 	hasManifest := false
@@ -411,6 +439,55 @@ func runVerify(args []string) error {
 			return fmt.Errorf("shard set invalid: %w", err)
 		}
 		fmt.Printf("%s: shard set OK (k=%d, coverage + disjointness + halo consistency verified)\n", args[0], ss.K())
+	}
+	return nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	featDtype := fs.String("feat-dtype", "", "target feature dtype: fp32 or fp16 (required)")
+	out := fs.String("o", "", "output path (default: rewrite in place)")
+	// Accept both `convert store.argograph -feat-dtype fp16` and the
+	// flags-first spelling.
+	var src string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		src = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if src == "" && fs.NArg() == 1 {
+		src = fs.Arg(0)
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("convert takes one .argograph path (plus -feat-dtype and optional -o out)")
+	}
+	if src == "" || *featDtype == "" {
+		return fmt.Errorf("convert needs a store and -feat-dtype (try: argo-data convert big.argograph -feat-dtype fp16)")
+	}
+	dt, err := graph.ParseFeatDtype(*featDtype)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = src
+	}
+	start := time.Now()
+	from, identical, err := graph.ConvertStore(src, dst, dt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	var dstBytes int64
+	if fi, err := os.Stat(dst); err == nil {
+		dstBytes = fi.Size()
+	}
+	switch {
+	case identical:
+		fmt.Printf("%s: already %s; rewritten byte-identically to %s in %s\n", src, dt, dst, elapsed)
+	case from == dt:
+		fmt.Printf("%s: already %s; re-encoded canonically to %s in %s\n", src, dt, dst, elapsed)
+	default:
+		fmt.Printf("%s: converted %s → %s at %s (%d bytes) in %s\n", src, from, dt, dst, dstBytes, elapsed)
 	}
 	return nil
 }

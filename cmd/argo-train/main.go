@@ -313,10 +313,10 @@ func main() {
 		if total > 0 {
 			pct = 100 * float64(exchange.RemoteRows) / float64(total)
 		}
-		fmt.Printf("halo exchange (%s): %d local rows, %d remote rows (%.1f%%), %d bytes in %d batched messages\n",
-			exchange.Transport, exchange.LocalRows, exchange.RemoteRows, pct, exchange.RemoteBytes, exchange.Messages)
+		fmt.Printf("halo exchange (%s): %d local rows, %d remote rows (%.1f%%), %d logical bytes → %d wire bytes in %d batched messages\n",
+			exchange.Transport, exchange.LocalRows, exchange.RemoteRows, pct, exchange.RemoteBytes, exchange.WireBytes, exchange.Messages)
 		for _, p := range exchange.Peers {
-			fmt.Printf("  replica %d → %d: %d rows, %d bytes, %d messages\n", p.From, p.To, p.Rows, p.Bytes, p.Messages)
+			fmt.Printf("  replica %d → %d: %d rows, %d bytes (%d wire), %d messages\n", p.From, p.To, p.Rows, p.Bytes, p.WireBytes, p.Messages)
 		}
 	}
 	acc, err := trainer.Evaluate()

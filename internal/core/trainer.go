@@ -193,6 +193,7 @@ func (tr *Trainer) ExchangeStats() *ddp.ExchangeStats {
 		LocalRows:   total.LocalRows,
 		RemoteRows:  total.RemoteRows,
 		RemoteBytes: total.RemoteBytes,
+		WireBytes:   total.WireBytes,
 		Messages:    total.Messages,
 		GradRows:    total.GradRows,
 	}

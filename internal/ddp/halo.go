@@ -7,6 +7,7 @@ import (
 
 	"argo/internal/graph"
 	"argo/internal/tensor"
+	"argo/internal/tensor/half"
 )
 
 // HaloExchange routes feature-row, label, and halo-gradient traffic
@@ -37,6 +38,7 @@ type HaloExchange struct {
 	featDim    int
 	tr         Transport
 	plan       *ExchangePlan
+	wireDtype  graph.FeatDtype
 
 	mu    sync.Mutex
 	stats []HaloStats
@@ -51,11 +53,17 @@ type HaloExchange struct {
 	grads [][]map[graph.NodeID][]float32
 }
 
-// HaloStats counts one replica's exchange traffic.
+// HaloStats counts one replica's exchange traffic. RemoteBytes is the
+// *logical* volume — the float32 bytes the moved rows represent,
+// independent of wire encoding — while WireBytes is what the framed
+// messages actually occupy on the wire (length prefix, headers, ids,
+// and dtype-encoded payloads). With an fp32 wire the two differ only by
+// framing overhead; with an fp16 wire WireBytes is roughly half.
 type HaloStats struct {
 	LocalRows   int64 // feature rows + labels served from the replica's own shards
 	RemoteRows  int64 // feature rows + labels fetched from other replicas
-	RemoteBytes int64 // bytes remote rows, labels, and gradients represent
+	RemoteBytes int64 // logical float32 bytes remote rows, labels, and gradients represent
+	WireBytes   int64 // framed bytes the batched messages occupy on the wire
 	Messages    int64 // batched request messages sent (the per-peer count)
 	GradRows    int64 // halo-gradient rows routed to other replicas
 }
@@ -65,6 +73,7 @@ func (s *HaloStats) Add(other HaloStats) {
 	s.LocalRows += other.LocalRows
 	s.RemoteRows += other.RemoteRows
 	s.RemoteBytes += other.RemoteBytes
+	s.WireBytes += other.WireBytes
 	s.Messages += other.Messages
 	s.GradRows += other.GradRows
 }
@@ -72,15 +81,17 @@ func (s *HaloStats) Add(other HaloStats) {
 // PeerCounts is the traffic volume of one directed (from, to) replica
 // pair.
 type PeerCounts struct {
-	Rows     int64 `json:"rows"`     // feature/label/gradient rows moved
-	Bytes    int64 `json:"bytes"`    // bytes those rows represent
-	Messages int64 `json:"messages"` // batched messages sent
+	Rows      int64 `json:"rows"`       // feature/label/gradient rows moved
+	Bytes     int64 `json:"bytes"`      // logical float32 bytes those rows represent
+	WireBytes int64 `json:"wire_bytes"` // framed bytes on the wire
+	Messages  int64 `json:"messages"`   // batched messages sent
 }
 
 // Add accumulates other into c.
 func (c *PeerCounts) Add(other PeerCounts) {
 	c.Rows += other.Rows
 	c.Bytes += other.Bytes
+	c.WireBytes += other.WireBytes
 	c.Messages += other.Messages
 }
 
@@ -112,6 +123,7 @@ type ExchangeStats struct {
 	LocalRows   int64         `json:"local_rows"`
 	RemoteRows  int64         `json:"remote_rows"`
 	RemoteBytes int64         `json:"remote_bytes"`
+	WireBytes   int64         `json:"wire_bytes"`
 	Messages    int64         `json:"messages"`
 	GradRows    int64         `json:"grad_rows,omitempty"`
 	Peers       []PeerTraffic `json:"peers,omitempty"`
@@ -164,6 +176,16 @@ type ExchangeOptions struct {
 	// Plan supplies per-replica cut-arc counts for buffer sizing; nil
 	// means no preallocation hints.
 	Plan *ExchangePlan
+	// WireDtype selects the wire encoding of float payloads (feature
+	// responses and gradient pushes). The engine negotiates it from the
+	// store dtype: an fp16 store's rows are fp16-exact, so shipping them
+	// as fp16 bits is lossless and every transport stays bit-identical.
+	// With DtypeF16 the exchange also quantises gradient contributions
+	// (clamp to the finite fp16 range, round to nearest-even) on every
+	// path — local and remote alike — before any accumulation, keeping
+	// training deterministic across transports and shard counts. The
+	// zero value is the full-precision fp32 wire.
+	WireDtype graph.FeatDtype
 }
 
 // NewHaloExchange builds an exchange over numReplicas replicas with the
@@ -208,6 +230,7 @@ func NewHaloExchangeOpts(
 		featDim:    featDim,
 		tr:         tr,
 		plan:       opt.Plan,
+		wireDtype:  opt.WireDtype,
 		stats:      make([]HaloStats, numReplicas),
 		grads:      make([][]map[graph.NodeID][]float32, numReplicas),
 	}
@@ -233,7 +256,9 @@ func NewHaloExchangeOpts(
 func (h *HaloExchange) handle(o int, req *Request) (*Response, error) {
 	switch req.Kind {
 	case MsgFeatures:
-		resp := &Response{Feat: make([]float32, len(req.IDs)*h.featDim)}
+		// Echo the requested dtype so the response payload travels in the
+		// negotiated encoding whichever transport frames it.
+		resp := &Response{Dtype: req.Dtype, Feat: make([]float32, len(req.IDs)*h.featDim)}
 		for i, v := range req.IDs {
 			row, err := h.serveFeat[o](v)
 			if err != nil {
@@ -306,6 +331,23 @@ func (h *HaloExchange) TransportName() string { return h.tr.Name() }
 // Plan returns the exchange's planner input (nil when built without
 // one).
 func (h *HaloExchange) Plan() *ExchangePlan { return h.plan }
+
+// WireDtype reports the negotiated wire encoding of float payloads.
+func (h *HaloExchange) WireDtype() graph.FeatDtype { return h.wireDtype }
+
+// quantizeF16 rounds xs to fp16 in place, clamping to the finite fp16
+// range first so out-of-range magnitudes saturate to ±65504 instead of
+// overflowing to ±Inf. NaN passes through (as it would in fp32).
+func quantizeF16(xs []float32) {
+	for i, v := range xs {
+		if v > half.MaxValue {
+			v = half.MaxValue
+		} else if v < -half.MaxValue {
+			v = -half.MaxValue
+		}
+		xs[i] = half.Round(v)
+	}
+}
 
 // Close releases the transport. The exchange must not be used after
 // Close.
@@ -381,7 +423,8 @@ func (h *HaloExchange) GatherFeatures(r int, ids []graph.NodeID) (*tensor.Matrix
 		if len(b.ids) == 0 {
 			continue
 		}
-		resp, err := h.tr.Call(p, &Request{From: r, Kind: MsgFeatures, IDs: b.ids})
+		req := &Request{From: r, Kind: MsgFeatures, Dtype: h.wireDtype, IDs: b.ids}
+		resp, err := h.tr.Call(p, req)
 		if err != nil {
 			return nil, fmt.Errorf("ddp: replica %d fetching %d rows from replica %d: %w", r, len(b.ids), p, err)
 		}
@@ -392,10 +435,12 @@ func (h *HaloExchange) GatherFeatures(r int, ids []graph.NodeID) (*tensor.Matrix
 			copy(out.Row(pos), resp.Feat[i*h.featDim:(i+1)*h.featDim])
 		}
 		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*int64(h.featDim)*4
+		wire := req.wireSize() + resp.wireSize()
 		st.RemoteRows += rows
 		st.RemoteBytes += bytes
+		st.WireBytes += wire
 		st.Messages++
-		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, WireBytes: wire, Messages: 1}
 	}
 	h.record(r, st, perPeer)
 	return out, nil
@@ -428,7 +473,8 @@ func (h *HaloExchange) TargetLabels(r int, ids []graph.NodeID) ([]int32, error) 
 		if len(b.ids) == 0 {
 			continue
 		}
-		resp, err := h.tr.Call(p, &Request{From: r, Kind: MsgLabels, IDs: b.ids})
+		req := &Request{From: r, Kind: MsgLabels, Dtype: h.wireDtype, IDs: b.ids}
+		resp, err := h.tr.Call(p, req)
 		if err != nil {
 			return nil, fmt.Errorf("ddp: replica %d fetching %d labels from replica %d: %w", r, len(b.ids), p, err)
 		}
@@ -439,10 +485,12 @@ func (h *HaloExchange) TargetLabels(r int, ids []graph.NodeID) ([]int32, error) 
 			out[pos] = resp.Labels[i]
 		}
 		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*4
+		wire := req.wireSize() + resp.wireSize()
 		st.RemoteRows += rows
 		st.RemoteBytes += bytes
+		st.WireBytes += wire
 		st.Messages++
-		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, WireBytes: wire, Messages: 1}
 	}
 	h.record(r, st, perPeer)
 	return out, nil
@@ -477,6 +525,13 @@ func (h *HaloExchange) ScatterGradients(r int, ids []graph.NodeID, grads *tensor
 		for _, i := range localRows {
 			flat = append(flat, grads.Row(i)...)
 		}
+		// With an fp16 wire, local contributions are quantised exactly
+		// like remote ones — before any accumulation — so the collected
+		// sums do not depend on which replica a contribution came from,
+		// and therefore not on the shard count or transport either.
+		if h.wireDtype == graph.DtypeF16 {
+			quantizeF16(flat)
+		}
 		h.accumGradients(r, r, localIDs, flat)
 		st.LocalRows += int64(len(localIDs))
 	}
@@ -490,14 +545,24 @@ func (h *HaloExchange) ScatterGradients(r int, ids []graph.NodeID, grads *tensor
 		for _, pos := range b.pos {
 			flat = append(flat, grads.Row(pos)...)
 		}
-		if _, err := h.tr.Call(p, &Request{From: r, Kind: MsgGradients, IDs: b.ids, Grad: flat}); err != nil {
+		// Quantise before transport so the fp16 wire encode is exact:
+		// the bits the peer accumulates match what an inproc call hands
+		// over directly.
+		if h.wireDtype == graph.DtypeF16 {
+			quantizeF16(flat)
+		}
+		req := &Request{From: r, Kind: MsgGradients, Dtype: h.wireDtype, IDs: b.ids, Grad: flat}
+		resp, err := h.tr.Call(p, req)
+		if err != nil {
 			return fmt.Errorf("ddp: replica %d scattering %d gradient rows to replica %d: %w", r, len(b.ids), p, err)
 		}
 		rows, bytes := int64(len(b.ids)), int64(len(b.ids))*int64(h.featDim)*4
+		wire := req.wireSize() + resp.wireSize()
 		st.GradRows += rows
 		st.RemoteBytes += bytes
+		st.WireBytes += wire
 		st.Messages++
-		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, Messages: 1}
+		perPeer[p] = PeerCounts{Rows: rows, Bytes: bytes, WireBytes: wire, Messages: 1}
 	}
 	h.record(r, st, perPeer)
 	return nil
@@ -601,6 +666,7 @@ func (h *HaloExchange) Summary() ExchangeStats {
 		LocalRows:   total.LocalRows,
 		RemoteRows:  total.RemoteRows,
 		RemoteBytes: total.RemoteBytes,
+		WireBytes:   total.WireBytes,
 		Messages:    total.Messages,
 		GradRows:    total.GradRows,
 		Peers:       h.PeerTraffic(),

@@ -8,6 +8,7 @@ import (
 
 	"argo/internal/graph"
 	"argo/internal/tensor"
+	"argo/internal/tensor/half"
 )
 
 // modExchange owns node v on replica v%n; features are [v, 10v, -v],
@@ -46,6 +47,90 @@ func modExchange(t *testing.T, replicas int, tr Transport, plan *ExchangePlan) *
 	return ex
 }
 
+// modExchangeWire is modExchange with an explicit wire dtype. The served
+// values ([v, 10v, -v] for the small ids tests use, labels v%7) are
+// fp16-exact, so an fp16 wire is lossless over them — mirroring the real
+// negotiation, which only enables the fp16 wire over fp16 stores.
+func modExchangeWire(t *testing.T, replicas int, tr Transport, dt graph.FeatDtype) *HaloExchange {
+	t.Helper()
+	base := modExchange(t, replicas, nil, nil)
+	base.Close()
+	ex, err := NewHaloExchangeOpts(replicas, base.featDim, base.owner, base.serveFeat, base.serveLabel,
+		ExchangeOptions{Transport: tr, WireDtype: dt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// The fp16 wire must gather bit-identically to the fp32 wire (the
+// served values are fp16-exact), move measurably fewer wire bytes, and
+// quantise gradients identically on every transport.
+func TestHaloExchangeF16Wire(t *testing.T) {
+	ids := []graph.NodeID{5, 0, 17, 3, 8, 100, 41}
+	ref := modExchange(t, 3, nil, nil)
+	defer ref.Close()
+	want, err := ref.GatherFeatures(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refWire := ref.Stats()[0].WireBytes
+	for _, name := range []string{"inproc", "tcp"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewTransport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := modExchangeWire(t, 3, tr, graph.DtypeF16)
+			defer ex.Close()
+			if ex.WireDtype() != graph.DtypeF16 {
+				t.Fatalf("wire dtype %v", ex.WireDtype())
+			}
+			got, err := ex.GatherFeatures(0, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					t.Fatalf("fp16 wire gather differs from fp32 at %d: %v vs %v", i, got.Data[i], want.Data[i])
+				}
+			}
+			st := ex.Stats()[0]
+			if st.RemoteBytes != ref.Stats()[0].RemoteBytes {
+				t.Fatalf("logical bytes changed with wire dtype: %d vs %d", st.RemoteBytes, ref.Stats()[0].RemoteBytes)
+			}
+			if st.WireBytes >= refWire {
+				t.Fatalf("fp16 wire bytes %d not below fp32's %d", st.WireBytes, refWire)
+			}
+
+			// Gradients quantise on every path: non-fp16-exact values round
+			// to nearest-even, out-of-range magnitudes saturate to ±65504 —
+			// for the local node 0 exactly as for the remote node 1.
+			g := tensor.New(2, 3)
+			copy(g.Row(0), []float32{1.0 / 3.0, 1e6, -1e9}) // node 0, local to replica 0
+			copy(g.Row(1), []float32{1.0 / 3.0, 1e6, -1e9}) // node 1, owned by replica 1
+			if err := ex.ScatterGradients(0, []graph.NodeID{0, 1}, g); err != nil {
+				t.Fatal(err)
+			}
+			wantRow := []float32{half.Round(1.0 / 3.0), 65504, -65504}
+			for _, r := range []int{0, 1} {
+				ids, out, err := ex.CollectGradients(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ids) != 1 || ids[0] != graph.NodeID(r) {
+					t.Fatalf("replica %d collected %v", r, ids)
+				}
+				for j, w := range wantRow {
+					if math.Float32bits(out.Row(0)[j]) != math.Float32bits(w) {
+						t.Fatalf("replica %d grad[%d] = %v, want %v", r, j, out.Row(0)[j], w)
+					}
+				}
+			}
+		})
+	}
+}
+
 // One gather sends at most one message per foreign peer, regardless of
 // how many rows each peer owns — the batching contract.
 func TestHaloExchangeBatchesPerPeer(t *testing.T) {
@@ -78,9 +163,13 @@ func TestHaloExchangeBatchesPerPeer(t *testing.T) {
 	if len(peers) != 2 {
 		t.Fatalf("peer traffic %v", peers)
 	}
+	// Wire bytes per peer: the features round-trip is a 34-byte request
+	// (4 prefix + 14 header + 4 ids) plus a 62-byte response (4 + 10 +
+	// 12 fp32 values); the labels round-trip is 34 + 30.
+	const wirePerPeer = (34 + 62) + (34 + 30)
 	for i, want := range []PeerTraffic{
-		{From: 0, To: 1, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, Messages: 2}},
-		{From: 0, To: 2, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, Messages: 2}},
+		{From: 0, To: 1, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, WireBytes: wirePerPeer, Messages: 2}},
+		{From: 0, To: 2, PeerCounts: PeerCounts{Rows: 8, Bytes: 4*3*4 + 4*4, WireBytes: wirePerPeer, Messages: 2}},
 	} {
 		if peers[i] != want {
 			t.Fatalf("peer %d = %+v, want %+v", i, peers[i], want)

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"argo/internal/graph"
+	"argo/internal/tensor/half"
 )
 
 // MsgKind discriminates the batched exchange messages.
@@ -41,7 +42,14 @@ func (k MsgKind) String() string {
 type Request struct {
 	From int
 	Kind MsgKind
-	IDs  []graph.NodeID
+	// Dtype selects the wire encoding of float payloads: the request's
+	// own Grad values, and the Feat values the responder sends back.
+	// Negotiated once from the store dtype (DtypeF16 halves both); fp16
+	// payload values must already be fp16-exact — the exchange quantises
+	// gradients before any transport sees them — so the encoding is
+	// lossless and transports stay bit-identical.
+	Dtype graph.FeatDtype
+	IDs   []graph.NodeID
 	// Grad carries len(IDs)·featDim float32 gradient values, row-major,
 	// for MsgGradients; nil otherwise.
 	Grad []float32
@@ -50,10 +58,27 @@ type Request struct {
 // Response answers one Request. Exactly one payload field is set,
 // matching the request's kind; a MsgGradients response is empty.
 type Response struct {
+	// Dtype is the wire encoding of Feat (echoed from the request).
+	Dtype graph.FeatDtype
 	// Feat holds len(IDs)·featDim float32 feature values, row-major.
 	Feat []float32
 	// Labels holds len(IDs) labels.
 	Labels []int32
+}
+
+// wireSize returns the bytes req occupies on the wire — the length
+// prefix plus the encodeRequest payload. It is pure arithmetic (no
+// encode), and computed identically whichever transport carries the
+// message, so wire-byte accounting is transport-invariant;
+// TestWireSizeMatchesEncoding pins it to the codec.
+func (req *Request) wireSize() int64 {
+	return 4 + 14 + 4*int64(len(req.IDs)) + int64(req.Dtype.Size())*int64(len(req.Grad))
+}
+
+// wireSize returns the bytes resp occupies on the wire (length prefix
+// plus the ok-status encodeResponse payload).
+func (resp *Response) wireSize() int64 {
+	return 4 + 10 + int64(resp.Dtype.Size())*int64(len(resp.Feat)) + 4*int64(len(resp.Labels))
 }
 
 // Handler answers batched requests on behalf of one replica. Handlers
@@ -140,46 +165,94 @@ func (t *InprocTransport) Close() error {
 // is a little-endian u32 payload length followed by the payload. The
 // request payload is
 //
-//	u8 kind | u32 from | u32 len(ids) | ids as i32 | u32 len(grad) | grad as f32
+//	u8 kind | u8 dtype | u32 from | u32 len(ids) | ids as i32 |
+//	  u32 len(grad) | grad (f32, or fp16 bits when dtype is fp16)
 //
 // and the response payload is
 //
 //	u8 status (0 ok, 1 error) |
-//	  ok:    u32 len(feat) | feat as f32 | u32 len(labels) | labels as i32
+//	  ok:    u8 dtype | u32 len(feat) | feat (f32 or fp16 by dtype) |
+//	         u32 len(labels) | labels as i32
 //	  error: utf-8 message (the rest of the frame)
 //
-// maxFrame bounds a frame so a corrupt length prefix cannot drive an
-// allocation by itself.
+// The dtype byte makes every frame self-describing, so a decoder never
+// needs out-of-band negotiation state to size the float payload. Counts
+// always name logical float32 values; dtype only selects their byte
+// encoding. maxFrame bounds a frame so a corrupt length prefix cannot
+// drive an allocation by itself.
 const maxFrame = 1 << 30
+
+// appendFloats appends xs in the dtype's wire encoding. fp16 encoding
+// rounds to nearest-even; callers guarantee fp16-exact values (features
+// come from an fp16 store, gradients are pre-quantised), so on this
+// code's paths the round is an identity and the wire is lossless.
+func appendFloats(b []byte, dt graph.FeatDtype, xs []float32) []byte {
+	if dt == graph.DtypeF16 {
+		off := len(b)
+		b = append(b, make([]byte, 2*len(xs))...)
+		half.EncodeBytes(b[off:], xs)
+		return b
+	}
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+// decodeFloats widens n dtype-encoded values from b. Mirroring the f32
+// path, fp16 bit patterns are decoded as-is (non-finite included) —
+// payload hygiene is the store and exchange layers' job, not the codec's.
+func decodeFloats(b []byte, dt graph.FeatDtype, n int) []float32 {
+	out := make([]float32, n)
+	if dt == graph.DtypeF16 {
+		half.DecodeBytes(out, b[:2*n])
+		return out
+	}
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// wireDtype validates a frame's dtype byte.
+func wireDtype(b byte) (graph.FeatDtype, error) {
+	dt := graph.FeatDtype(b)
+	if dt != graph.DtypeF32 && dt != graph.DtypeF16 {
+		return 0, fmt.Errorf("ddp: unknown wire dtype %d", b)
+	}
+	return dt, nil
+}
 
 // encodeRequest serialises req into a frame payload (without the length
 // prefix).
 func encodeRequest(req *Request) []byte {
-	b := make([]byte, 0, 9+4*len(req.IDs)+4+4*len(req.Grad))
-	b = append(b, byte(req.Kind))
+	elem := req.Dtype.Size()
+	b := make([]byte, 0, 10+4*len(req.IDs)+4+elem*len(req.Grad))
+	b = append(b, byte(req.Kind), byte(req.Dtype))
 	b = binary.LittleEndian.AppendUint32(b, uint32(req.From))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.IDs)))
 	for _, v := range req.IDs {
 		b = binary.LittleEndian.AppendUint32(b, uint32(v))
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.Grad)))
-	for _, g := range req.Grad {
-		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(g))
-	}
-	return b
+	return appendFloats(b, req.Dtype, req.Grad)
 }
 
 // decodeRequest parses a frame payload produced by encodeRequest.
 func decodeRequest(b []byte) (*Request, error) {
-	if len(b) < 9 {
+	if len(b) < 10 {
 		return nil, fmt.Errorf("ddp: request frame of %d bytes", len(b))
 	}
-	req := &Request{Kind: MsgKind(b[0]), From: int(binary.LittleEndian.Uint32(b[1:5]))}
+	req := &Request{Kind: MsgKind(b[0]), From: int(binary.LittleEndian.Uint32(b[2:6]))}
 	if req.Kind != MsgFeatures && req.Kind != MsgLabels && req.Kind != MsgGradients {
 		return nil, fmt.Errorf("ddp: unknown message kind %d", b[0])
 	}
-	n := int(binary.LittleEndian.Uint32(b[5:9]))
-	off := 9
+	var err error
+	if req.Dtype, err = wireDtype(b[1]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(b[6:10]))
+	off := 10
 	if n < 0 || n > (len(b)-off)/4 {
 		return nil, fmt.Errorf("ddp: request claims %d ids beyond its frame", n)
 	}
@@ -195,15 +268,13 @@ func decodeRequest(b []byte) (*Request, error) {
 	}
 	g := int(binary.LittleEndian.Uint32(b[off : off+4]))
 	off += 4
-	if g < 0 || g > (len(b)-off)/4 {
+	elem := req.Dtype.Size()
+	if g < 0 || g > (len(b)-off)/elem {
 		return nil, fmt.Errorf("ddp: request claims %d gradient values beyond its frame", g)
 	}
 	if g > 0 {
-		req.Grad = make([]float32, g)
-		for i := range req.Grad {
-			req.Grad[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4]))
-			off += 4
-		}
+		req.Grad = decodeFloats(b[off:], req.Dtype, g)
+		off += elem * g
 	}
 	if off != len(b) {
 		return nil, fmt.Errorf("ddp: %d trailing bytes in request frame", len(b)-off)
@@ -219,12 +290,11 @@ func encodeResponse(resp *Response, herr error) []byte {
 		b = append(b, 1)
 		return append(b, msg...)
 	}
-	b := make([]byte, 0, 9+4*len(resp.Feat)+4*len(resp.Labels))
-	b = append(b, 0)
+	elem := resp.Dtype.Size()
+	b := make([]byte, 0, 10+elem*len(resp.Feat)+4*len(resp.Labels))
+	b = append(b, 0, byte(resp.Dtype))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Feat)))
-	for _, f := range resp.Feat {
-		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(f))
-	}
+	b = appendFloats(b, resp.Dtype, resp.Feat)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Labels)))
 	for _, l := range resp.Labels {
 		b = binary.LittleEndian.AppendUint32(b, uint32(l))
@@ -244,21 +314,23 @@ func decodeResponse(b []byte) (*Response, error) {
 	if b[0] != 0 {
 		return nil, fmt.Errorf("ddp: unknown response status %d", b[0])
 	}
-	if len(b) < 5 {
+	if len(b) < 6 {
 		return nil, fmt.Errorf("ddp: response frame of %d bytes", len(b))
 	}
 	resp := &Response{}
-	n := int(binary.LittleEndian.Uint32(b[1:5]))
-	off := 5
-	if n < 0 || n > (len(b)-off)/4 {
+	var err error
+	if resp.Dtype, err = wireDtype(b[1]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(b[2:6]))
+	off := 6
+	elem := resp.Dtype.Size()
+	if n < 0 || n > (len(b)-off)/elem {
 		return nil, fmt.Errorf("ddp: response claims %d feature values beyond its frame", n)
 	}
 	if n > 0 {
-		resp.Feat = make([]float32, n)
-		for i := range resp.Feat {
-			resp.Feat[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4]))
-			off += 4
-		}
+		resp.Feat = decodeFloats(b[off:], resp.Dtype, n)
+		off += elem * n
 	}
 	if len(b)-off < 4 {
 		return nil, fmt.Errorf("ddp: response frame truncated before labels")

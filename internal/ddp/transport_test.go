@@ -19,13 +19,18 @@ func TestWireCodecRoundTrip(t *testing.T) {
 		{From: 1, Kind: MsgGradients, IDs: []graph.NodeID{7, 9},
 			Grad: []float32{1.5, -0.25, float32(math.Inf(1)), math.Float32frombits(0x7fc00001)}},
 		{From: 2, Kind: MsgFeatures},
+		// fp16 wire: payload values are fp16-exact (as the exchange
+		// guarantees), so the narrow encoding must still be bit-exact.
+		{From: 1, Kind: MsgGradients, Dtype: graph.DtypeF16, IDs: []graph.NodeID{4, 5},
+			Grad: []float32{1.5, -0.25, 65504, -6.103515625e-05}},
+		{From: 0, Kind: MsgFeatures, Dtype: graph.DtypeF16, IDs: []graph.NodeID{11}},
 	}
 	for i, req := range reqs {
 		got, err := decodeRequest(encodeRequest(req))
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		if got.From != req.From || got.Kind != req.Kind || !reflect.DeepEqual(got.IDs, req.IDs) {
+		if got.From != req.From || got.Kind != req.Kind || got.Dtype != req.Dtype || !reflect.DeepEqual(got.IDs, req.IDs) {
 			t.Fatalf("request %d round-tripped to %+v", i, got)
 		}
 		if len(got.Grad) != len(req.Grad) {
@@ -41,13 +46,14 @@ func TestWireCodecRoundTrip(t *testing.T) {
 		{Feat: []float32{1, 2, 3, 4}},
 		{Labels: []int32{-1, 0, 7}},
 		{},
+		{Dtype: graph.DtypeF16, Feat: []float32{0.5, -2048, 0.0999755859375}},
 	}
 	for i, resp := range resps {
 		got, err := decodeResponse(encodeResponse(resp, nil))
 		if err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
-		if len(got.Feat) != len(resp.Feat) || len(got.Labels) != len(resp.Labels) {
+		if got.Dtype != resp.Dtype || len(got.Feat) != len(resp.Feat) || len(got.Labels) != len(resp.Labels) {
 			t.Fatalf("response %d round-tripped to %+v", i, got)
 		}
 		for j := range resp.Feat {
@@ -74,8 +80,9 @@ func TestWireCodecRejectsMalformed(t *testing.T) {
 		{},
 		good[:5],
 		append(append([]byte{}, good...), 0xee), // trailing byte
-		{99, 0, 0, 0, 0, 0, 0, 0, 0},            // unknown kind
-		{byte(MsgFeatures), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}, // id count beyond frame
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0},         // unknown kind
+		{byte(MsgFeatures), 7, 0, 0, 0, 0, 0, 0, 0, 0},             // unknown wire dtype
+		{byte(MsgFeatures), 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}, // id count beyond frame
 	}
 	for i, b := range bad {
 		if _, err := decodeRequest(b); err == nil {
@@ -89,11 +96,41 @@ func TestWireCodecRejectsMalformed(t *testing.T) {
 		{2},
 		goodResp[:3],
 		append(append([]byte{}, goodResp...), 0xee),
-		{0, 0xff, 0xff, 0xff, 0x7f}, // feat count beyond frame
+		{0, 9, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown wire dtype
+		{0, 0, 0xff, 0xff, 0xff, 0x7f}, // feat count beyond frame
 	}
 	for i, b := range badResp {
 		if _, err := decodeResponse(b); err == nil {
 			t.Fatalf("malformed response %d accepted", i)
+		}
+	}
+}
+
+// wireSize is pure arithmetic over the message fields; the codec is the
+// ground truth. The two must never drift, or WireBytes accounting lies.
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	reqs := []*Request{
+		{Kind: MsgFeatures},
+		{Kind: MsgFeatures, IDs: []graph.NodeID{1, 2, 3}},
+		{Kind: MsgFeatures, Dtype: graph.DtypeF16, IDs: []graph.NodeID{1, 2, 3}},
+		{Kind: MsgGradients, IDs: []graph.NodeID{1, 2}, Grad: make([]float32, 10)},
+		{Kind: MsgGradients, Dtype: graph.DtypeF16, IDs: []graph.NodeID{1, 2}, Grad: make([]float32, 10)},
+	}
+	for i, req := range reqs {
+		if got, want := int64(len(encodeRequest(req)))+4, req.wireSize(); got != want {
+			t.Fatalf("request %d: encoded+prefix %d bytes, wireSize %d", i, got, want)
+		}
+	}
+	resps := []*Response{
+		{},
+		{Feat: make([]float32, 6)},
+		{Dtype: graph.DtypeF16, Feat: make([]float32, 6)},
+		{Labels: make([]int32, 4)},
+		{Dtype: graph.DtypeF16, Feat: make([]float32, 7), Labels: make([]int32, 3)},
+	}
+	for i, resp := range resps {
+		if got, want := int64(len(encodeResponse(resp, nil)))+4, resp.wireSize(); got != want {
+			t.Fatalf("response %d: encoded+prefix %d bytes, wireSize %d", i, got, want)
 		}
 	}
 }

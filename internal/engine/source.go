@@ -190,9 +190,20 @@ func NewShardSourcesOpts(ss *graph.ShardSet, numProcs int, opt ShardSourceOption
 	if err != nil {
 		return nil, nil, err
 	}
+	// The wire dtype is negotiated from the store dtype alone: an fp16
+	// shard set's rows are fp16-exact, so shipping them as fp16 bits is
+	// lossless and transport-invariant. (An fp16 wire over an fp32 store
+	// would lose bits only when a message crosses address spaces, making
+	// results transport-dependent — so it is never enabled.)
+	wireDtype, err := graph.ParseFeatDtype(ss.Manifest.FeatDtype)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
 	ex, err := ddp.NewHaloExchangeOpts(numProcs, featDim, owner, serveFeat, serveLabel, ddp.ExchangeOptions{
 		Transport: tr,
 		Plan:      ddp.PlanFromCuts(ss.Manifest.ReplicaCutArcs(numProcs)),
+		WireDtype: wireDtype,
 	})
 	if err != nil {
 		tr.Close()

@@ -125,9 +125,14 @@ func Spec(name string) (DatasetSpec, error) {
 // features, labels, and index splits — everything the training engine
 // needs.
 type Dataset struct {
-	Spec       DatasetSpec
-	Graph      *CSR
-	Features   *tensor.Matrix // NumNodes × F0
+	Spec     DatasetSpec
+	Graph    *CSR
+	Features *tensor.Matrix // NumNodes × F0
+	// FeatDtype is the storage/wire encoding of Features (fp32 default,
+	// so pre-dtype code and stores are unchanged). Kernels always see
+	// float32; a DtypeF16 dataset holds only fp16-exact values — Validate
+	// enforces it, ConvertFeatures establishes it.
+	FeatDtype  FeatDtype
 	Labels     []int32
 	NumClasses int
 	TrainIdx   []NodeID

@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"argo/internal/tensor/half"
+)
+
+// f16TestDataset is storeTestDataset rounded to fp16 storage — the
+// rounding happens exactly once here, so every value is fp16-exact and
+// all later encode/decode hops must be lossless.
+func f16TestDataset(t testing.TB) *Dataset {
+	t.Helper()
+	ds := storeTestDataset(t)
+	if err := ds.ConvertFeatures(DtypeF16); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// An fp16 dataset round-trips bit-exactly through the store: the single
+// rounding at ConvertFeatures is the only lossy step anywhere.
+func TestF16StoreRoundTrip(t *testing.T) {
+	ds := f16TestDataset(t)
+	if ds.FeatDtype != DtypeF16 {
+		t.Fatalf("dtype %v after conversion", ds.FeatDtype)
+	}
+	path := filepath.Join(t.TempDir(), "f16.argograph")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatal("fp16 dataset did not round-trip bit-exactly")
+	}
+	// Row-granular reads decode the same bits.
+	lz, err := OpenLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.FeatDtype() != DtypeF16 {
+		t.Fatalf("lazy dtype %v", lz.FeatDtype())
+	}
+	for _, i := range []int{0, 1, ds.Features.Rows / 2, ds.Features.Rows - 1} {
+		row, err := lz.FeatureRow(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(row, ds.Features.Row(i)) {
+			t.Fatalf("fp16 row %d differs", i)
+		}
+	}
+}
+
+// The fp16 container framing, pinned like TestStoreGoldenHeader: still
+// six sections, with features16 replacing features (and written last,
+// so ascending section ids are preserved), and the features payload
+// exactly half the fp32 store's.
+func TestF16StoreGoldenSections(t *testing.T) {
+	f32 := storeTestDataset(t)
+	f16 := f16TestDataset(t)
+	var b32, b16 bytes.Buffer
+	if err := f32.Write(&b32); err != nil {
+		t.Fatal(err)
+	}
+	if err := f16.Write(&b16); err != nil {
+		t.Fatal(err)
+	}
+	b := b16.Bytes()
+	if n := binary.LittleEndian.Uint32(b[16:]); n != 6 {
+		t.Fatalf("section count %d, want 6", n)
+	}
+	lz, err := openLazySource(mmapSource{b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range lz.Sections() {
+		names = append(names, s.Name)
+	}
+	want := []string{"spec", "stats", "csr", "labels", "splits", "features16"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("sections %v, want %v", names, want)
+	}
+	if _, ok := findSection(lz.sections, secFeatures); ok {
+		t.Fatal("fp16 store still carries an fp32 features section")
+	}
+	_, len16 := sectionExtent(t, lz, secFeaturesF16)
+	rows, cols := f16.Features.Rows, f16.Features.Cols
+	if want := uint64(16 + rows*cols*2); len16 != want {
+		t.Fatalf("features16 section %d bytes, want %d", len16, want)
+	}
+	if b16.Len() >= b32.Len() {
+		t.Fatalf("fp16 store %d bytes, fp32 %d — no size win", b16.Len(), b32.Len())
+	}
+	// Deterministic writes, like the fp32 golden test pins.
+	var again bytes.Buffer
+	if err := f16.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, again.Bytes()) {
+		t.Fatal("two writes of the same fp16 dataset differ")
+	}
+}
+
+// ConvertFeatures is a single RTNE rounding: every stored value is the
+// nearest fp16, and re-converting is the identity.
+func TestConvertFeaturesRoundsOnceAndIsIdempotent(t *testing.T) {
+	ds := storeTestDataset(t)
+	ref := ds.Features.Clone()
+	if err := ds.ConvertFeatures(DtypeF16); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Features.Rows; i++ {
+		got, orig := ds.Features.Row(i), ref.Row(i)
+		for j := range got {
+			if want := half.Round(orig[j]); math.Float32bits(got[j]) != math.Float32bits(want) {
+				t.Fatalf("row %d col %d: %v, want round(%v)=%v", i, j, got[j], orig[j], want)
+			}
+		}
+	}
+	snap := ds.Features.Clone()
+	if err := ds.ConvertFeatures(DtypeF16); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Features, snap) {
+		t.Fatal("second fp16 conversion changed already-exact values")
+	}
+	// Back to fp32 is a pure relabel: the widened values are unchanged.
+	if err := ds.ConvertFeatures(DtypeF32); err != nil {
+		t.Fatal(err)
+	}
+	if ds.FeatDtype != DtypeF32 || !reflect.DeepEqual(ds.Features, snap) {
+		t.Fatal("fp32 relabel changed feature values")
+	}
+}
+
+func TestConvertFeaturesRejectsUnrepresentable(t *testing.T) {
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 65520, -1e9} {
+		ds := storeTestDataset(t)
+		ds.Features.Row(3)[1] = bad
+		if err := ds.ConvertFeatures(DtypeF16); err == nil {
+			t.Fatalf("value %v accepted by fp16 conversion", bad)
+		}
+	}
+}
+
+// ConvertStore on disk: fp32→fp16 matches an in-memory conversion
+// byte for byte, converting an already-fp16 store is byte-idempotent,
+// and fp16→fp32 widens to exactly the rounded values.
+func TestConvertStoreIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	src32 := filepath.Join(dir, "a32.argograph")
+	if err := storeTestDataset(t).Save(src32); err != nil {
+		t.Fatal(err)
+	}
+	dst16 := filepath.Join(dir, "a16.argograph")
+	from, identical, err := ConvertStore(src32, dst16, DtypeF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != DtypeF32 || identical {
+		t.Fatalf("fp32→fp16: from=%v identical=%v", from, identical)
+	}
+	wantPath := filepath.Join(dir, "want16.argograph")
+	if err := f16TestDataset(t).Save(wantPath); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(dst16)
+	want, _ := os.ReadFile(wantPath)
+	if !bytes.Equal(got, want) {
+		t.Fatal("on-disk conversion differs from in-memory ConvertFeatures+Save")
+	}
+	// fp16→fp16 rewrites the same bytes (and says so).
+	again := filepath.Join(dir, "again16.argograph")
+	if from, identical, err = ConvertStore(dst16, again, DtypeF16); err != nil {
+		t.Fatal(err)
+	}
+	if from != DtypeF16 || !identical {
+		t.Fatalf("fp16→fp16: from=%v identical=%v", from, identical)
+	}
+	rewritten, _ := os.ReadFile(again)
+	if !bytes.Equal(rewritten, got) {
+		t.Fatal("fp16→fp16 conversion is not byte-idempotent")
+	}
+	// fp16→fp32 widens losslessly.
+	back32 := filepath.Join(dir, "back32.argograph")
+	if _, _, err := ConvertStore(dst16, back32, DtypeF32); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(back32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16 := f16TestDataset(t)
+	if back.FeatDtype != DtypeF32 || !reflect.DeepEqual(back.Features, f16.Features) {
+		t.Fatal("fp16→fp32 widening does not match the rounded values")
+	}
+}
+
+// Sharding an fp16 dataset keeps every shard store fp16 and every owned
+// row bit-exact — the invariant the wire format's losslessness rests on.
+func TestF16ShardRoundTripBitExact(t *testing.T) {
+	ds := f16TestDataset(t)
+	dir := t.TempDir()
+	man, paths, err := WriteShardSet(ds, dir, "f16", ShardOptions{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FeatDtype != "fp16" {
+		t.Fatalf("manifest dtype %q, want fp16", man.FeatDtype)
+	}
+	ss, err := OpenShardSet(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if err := ss.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ss.K(); i++ {
+		lz, err := ss.Shard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lz.FeatDtype() != DtypeF16 {
+			t.Fatalf("shard %d dtype %v", i, lz.FeatDtype())
+		}
+		sm, err := ss.ShardMap(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for local := 0; local < lz.NumFeatureRows(); local++ {
+			global, err := sm.GlobalID(NodeID(local))
+			if err != nil {
+				t.Fatal(err)
+			}
+			row, err := lz.FeatureRow(local, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(row, ds.Features.Row(int(global))) {
+				t.Fatalf("shard %d local row %d (global %d) differs", i, local, global)
+			}
+		}
+	}
+}
+
+// The fp16 twin of TestFeatureRowKHopGatherNeverMaterialisesMatrix:
+// row-granular reads on an fp16 store touch exactly the gathered rows'
+// 2-byte-per-value extents — half the fp32 traffic, and never the
+// whole section.
+func TestF16FeatureRowNeverMaterialisesMatrix(t *testing.T) {
+	ds := f16TestDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSource{inner: mmapSource{buf.Bytes()}}
+	lz, err := openLazySource(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{0, 7, 13, 200, ds.Features.Rows - 1}
+	readsBefore := len(rec.reads)
+	scratch := make([]float32, lz.FeatureDim())
+	for _, i := range rows {
+		row, err := lz.FeatureRow(i, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(row, ds.Features.Row(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	featOff, featLen := sectionExtent(t, lz, secFeaturesF16)
+	var featureBytes uint64
+	for _, rd := range rec.reads[readsBefore:] {
+		if rd[0] < featOff || rd[0]+rd[1] > featOff+featLen {
+			t.Fatalf("read [%d,+%d) outside the features16 section", rd[0], rd[1])
+		}
+		featureBytes += rd[1]
+	}
+	want := 16 + uint64(lz.FeatureDim())*2*uint64(len(rows))
+	if featureBytes != want {
+		t.Fatalf("read %d feature bytes, want exactly %d (%d fp16 rows + header)", featureBytes, want, len(rows))
+	}
+	if featureBytes >= featLen {
+		t.Fatal("fp16 row reads materialised the features section")
+	}
+}
+
+// Validate rejects fp16 sections whose values are corrupt: non-finite
+// bits, and (through VerifyStore) a payload whose row extent lies.
+func TestF16ValidateRejectsNonFinite(t *testing.T) {
+	ds := f16TestDataset(t)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ds.Features.Row(5)[2] = float32(math.Inf(1))
+	if err := ds.Validate(); err == nil {
+		t.Fatal("fp16 dataset with +Inf passed validation")
+	}
+	ds.Features.Row(5)[2] = 1.0 + 1e-4 // not fp16-exact
+	if err := ds.Validate(); err == nil {
+		t.Fatal("fp16 dataset with a non-fp16-exact value passed validation")
+	}
+}

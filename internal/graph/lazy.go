@@ -12,6 +12,7 @@ import (
 
 	"argo/internal/platform"
 	"argo/internal/tensor"
+	"argo/internal/tensor/half"
 )
 
 // LazyDataset is an opened .argograph v2 store that materialises
@@ -39,6 +40,9 @@ type LazyDataset struct {
 	spec     DatasetSpec
 	stats    Stats
 	sections []sectionEntry
+	// featDtype is the store's feature encoding, decided by which
+	// features section the table carries (v1 and pre-dtype v2: fp32).
+	featDtype FeatDtype
 
 	src   sectionSource
 	close func() error
@@ -194,6 +198,22 @@ func openLazySource(src sectionSource, closeFn func() error) (*LazyDataset, erro
 		if lz.spec, err = decodeSpecSection(specB); err != nil {
 			return nil, err
 		}
+		// The section table is authoritative for the feature dtype; the
+		// stats copy exists for metadata-only readers and must agree.
+		if _, f16 := findSection(entries, secFeaturesF16); f16 {
+			if _, f32 := findSection(entries, secFeatures); f32 {
+				return nil, fmt.Errorf("graph: store carries both features and features16 sections")
+			}
+			lz.featDtype = DtypeF16
+		}
+		statsDtype, err := ParseFeatDtype(lz.stats.FeatDtype)
+		if err != nil {
+			return nil, err
+		}
+		if statsDtype != lz.featDtype {
+			return nil, fmt.Errorf("graph: stats dtype %q disagrees with the %s features section the table carries",
+				lz.stats.FeatDtype, lz.featDtype)
+		}
 	}
 	return lz, nil
 }
@@ -278,6 +298,10 @@ func (l *LazyDataset) Kind() string {
 // Spec returns the stored DatasetSpec (zero for bare-CSR stores). Read
 // at open time; costs nothing.
 func (l *LazyDataset) Spec() DatasetSpec { return l.spec }
+
+// FeatDtype reports the store's feature encoding (section table; costs
+// nothing). Feature accessors always return float32 regardless.
+func (l *LazyDataset) FeatDtype() FeatDtype { return l.featDtype }
 
 // Stats returns the precomputed stats section. Read at open time.
 func (l *LazyDataset) Stats() Stats { return l.stats }
@@ -382,13 +406,23 @@ func (l *LazyDataset) featuresLocked() (*tensor.Matrix, error) {
 		l.feats = l.eager.Features
 		return l.feats, nil
 	}
-	b, err := l.sectionBytes(secFeatures)
-	if err != nil {
-		return nil, err
-	}
-	m, err := decodeFeaturesSection(b)
-	if err != nil {
-		return nil, err
+	var m *tensor.Matrix
+	if l.featDtype == DtypeF16 {
+		b, err := l.sectionBytes(secFeaturesF16)
+		if err != nil {
+			return nil, err
+		}
+		if m, err = decodeFeaturesF16Section(b); err != nil {
+			return nil, err
+		}
+	} else {
+		b, err := l.sectionBytes(secFeatures)
+		if err != nil {
+			return nil, err
+		}
+		if m, err = decodeFeaturesSection(b); err != nil {
+			return nil, err
+		}
 	}
 	if m.Rows != l.stats.FeatRows || m.Cols != l.stats.FeatCols {
 		return nil, fmt.Errorf("graph: features section %dx%d disagrees with stats %dx%d",
@@ -443,10 +477,16 @@ func (l *LazyDataset) FeatureRow(i int, dst []float32) ([]float32, error) {
 		l.mu.Unlock()
 		return nil, fmt.Errorf("graph: store is closed")
 	}
-	e, ok := findSection(l.sections, secFeatures)
+	secID := uint32(secFeatures)
+	elem := uint64(4)
+	if l.featDtype == DtypeF16 {
+		secID = secFeaturesF16
+		elem = 2
+	}
+	e, ok := findSection(l.sections, secID)
 	if !ok {
 		l.mu.Unlock()
-		return nil, fmt.Errorf("graph: store has no %s section", SectionName(secFeatures))
+		return nil, fmt.Errorf("graph: store has no %s section", SectionName(secID))
 	}
 	if !l.featRowsChecked {
 		// First row read: validate the 16-byte section prefix (rows, cols)
@@ -460,23 +500,29 @@ func (l *LazyDataset) FeatureRow(i int, dst []float32) ([]float32, error) {
 		c := binary.LittleEndian.Uint64(hdr[8:])
 		if rows != uint64(l.stats.FeatRows) || c != uint64(cols) {
 			l.mu.Unlock()
-			return nil, fmt.Errorf("graph: features section %dx%d disagrees with stats %dx%d",
-				rows, c, l.stats.FeatRows, cols)
+			return nil, fmt.Errorf("graph: %s section %dx%d disagrees with stats %dx%d",
+				SectionName(secID), rows, c, l.stats.FeatRows, cols)
 		}
-		if e.Length != 16+4*rows*c {
+		if e.Length != 16+elem*rows*c {
 			l.mu.Unlock()
-			return nil, fmt.Errorf("graph: features section is %d bytes, want %d for %dx%d",
-				e.Length, 16+4*rows*c, rows, c)
+			return nil, fmt.Errorf("graph: %s section is %d bytes, want %d for %dx%d",
+				SectionName(secID), e.Length, 16+elem*rows*c, rows, c)
 		}
 		l.featRowsChecked = true
 	}
 	l.mu.Unlock()
 
-	// Row payload: section prefix (16 bytes) then row-major f32s.
-	off := e.Offset + 16 + uint64(i)*uint64(cols)*4
-	b, err := src.view(off, uint64(cols)*4)
+	// Row payload: section prefix (16 bytes) then row-major elements.
+	// fp16 rows widen exactly through the half kernel, so a row read and
+	// a materialised-matrix read return identical bits.
+	off := e.Offset + 16 + uint64(i)*uint64(cols)*elem
+	b, err := src.view(off, uint64(cols)*elem)
 	if err != nil {
 		return nil, err
+	}
+	if l.featDtype == DtypeF16 {
+		half.DecodeBytes(dst, b)
+		return dst, nil
 	}
 	for k := range dst {
 		dst[k] = math.Float32frombits(binary.LittleEndian.Uint32(b[k*4:]))
@@ -569,6 +615,7 @@ func (l *LazyDataset) Dataset() (*Dataset, error) {
 		Spec:       l.spec,
 		Graph:      g,
 		Features:   feats,
+		FeatDtype:  l.featDtype,
 		Labels:     labels,
 		NumClasses: l.stats.NumClasses,
 		TrainIdx:   train,
@@ -594,11 +641,12 @@ func LazyFromDataset(d *Dataset) *LazyDataset {
 // per-shard stats once in buildShards).
 func lazyFromDatasetWithStats(d *Dataset, st Stats) *LazyDataset {
 	return &LazyDataset{
-		version: storeVersion2,
-		kind:    storeKindDataset,
-		spec:    d.Spec,
-		stats:   st,
-		eager:   d,
-		graph:   d.Graph,
+		version:   storeVersion2,
+		kind:      storeKindDataset,
+		spec:      d.Spec,
+		stats:     st,
+		featDtype: d.FeatDtype,
+		eager:     d,
+		graph:     d.Graph,
 	}
 }

@@ -37,13 +37,18 @@ import (
 // every global node id (as run-length ranges), and one entry per shard.
 // It is stored as JSON in the manifest section of shard 0.
 type ShardManifest struct {
-	Version     int          `json:"version"` // manifest schema version, 1
-	Base        string       `json:"base"`    // shard file basename stem
-	K           int          `json:"k"`
-	NumNodes    int64        `json:"num_nodes"`
-	NumArcs     int64        `json:"num_arcs"`
-	NumClasses  int          `json:"num_classes"`
-	FeatDim     int          `json:"feat_dim"`
+	Version    int    `json:"version"` // manifest schema version, 1
+	Base       string `json:"base"`    // shard file basename stem
+	K          int    `json:"k"`
+	NumNodes   int64  `json:"num_nodes"`
+	NumArcs    int64  `json:"num_arcs"`
+	NumClasses int    `json:"num_classes"`
+	FeatDim    int    `json:"feat_dim"`
+	// FeatDtype is the set-wide feature encoding ("fp16", or empty for
+	// fp32 so pre-dtype manifests are byte-unchanged). Every shard store
+	// carries the same dtype; it is also what the exchange layer
+	// negotiates its wire encoding from.
+	FeatDtype   string       `json:"feat_dtype,omitempty"`
 	TrainCount  int          `json:"train_count"`
 	ValCount    int          `json:"val_count"`
 	TestCount   int          `json:"test_count"`
@@ -343,6 +348,7 @@ func buildShards(d *Dataset, p *Partition, opt ShardOptions, base string) ([]sha
 		NumArcs:     g.NumEdges(),
 		NumClasses:  d.NumClasses,
 		FeatDim:     d.Features.Cols,
+		FeatDtype:   d.FeatDtype.statsName(),
 		TrainCount:  len(d.TrainIdx),
 		ValCount:    len(d.ValIdx),
 		TestCount:   len(d.TestIdx),
@@ -458,6 +464,7 @@ func buildShards(d *Dataset, p *Partition, opt ShardOptions, base string) ([]sha
 			Spec:       spec,
 			Graph:      lg,
 			Features:   feats,
+			FeatDtype:  d.FeatDtype,
 			Labels:     labels,
 			NumClasses: d.NumClasses,
 			TrainIdx:   localSplits[0],
@@ -730,6 +737,10 @@ func (ss *ShardSet) Validate() error {
 		if err != nil {
 			return err
 		}
+		if got := lz.FeatDtype().statsName(); got != m.FeatDtype {
+			return fmt.Errorf("graph: shard %d stores %s features, manifest says %q",
+				s, lz.FeatDtype(), m.FeatDtype)
+		}
 		lg, err := lz.Topology()
 		if err != nil {
 			return err
@@ -905,9 +916,14 @@ func (ss *ShardSet) Skeleton() (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	dt, err := ParseFeatDtype(ss.Manifest.FeatDtype)
+	if err != nil {
+		return nil, err
+	}
 	return &Dataset{
 		Spec:       ss.Manifest.Spec,
 		Graph:      g,
+		FeatDtype:  dt,
 		NumClasses: ss.Manifest.NumClasses,
 		TrainIdx:   train,
 		ValIdx:     val,
@@ -974,6 +990,7 @@ func (ss *ShardSet) GlobalStats() (Stats, error) {
 		NumClasses: m.NumClasses,
 		FeatRows:   int(m.NumNodes),
 		FeatCols:   m.FeatDim,
+		FeatDtype:  m.FeatDtype,
 		TrainCount: m.TrainCount,
 		ValCount:   m.ValCount,
 		TestCount:  m.TestCount,

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"argo/internal/tensor"
+	"argo/internal/tensor/half"
 )
 
 // The .argograph version-1 container: a fixed 32-byte header followed by
@@ -379,6 +380,13 @@ func (d *Dataset) Validate() error {
 	if len(d.Features.Data) != d.Features.Rows*d.Features.Cols {
 		return fmt.Errorf("graph: feature storage %d for %dx%d", len(d.Features.Data), d.Features.Rows, d.Features.Cols)
 	}
+	if d.FeatDtype == DtypeF16 {
+		// The fp16 invariant: every value exactly representable, so each
+		// store/wire re-encode of this dataset is lossless.
+		if err := d.validateF16Exact(); err != nil {
+			return err
+		}
+	}
 	if d.NumClasses < 1 {
 		return fmt.Errorf("graph: %d classes", d.NumClasses)
 	}
@@ -658,6 +666,9 @@ func (e *enc) f32s(xs []float32) {
 		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
 	}
 }
+func (e *enc) halves(xs []float32) {
+	half.EncodeBytes(e.grow(2*len(xs)), xs)
+}
 
 // dec consumes the payload with a latched error: after the first failure
 // every further read returns zero values, so decode code stays linear.
@@ -740,4 +751,24 @@ func (d *dec) f32s(n int) []float32 {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 	return out
+}
+
+// halves decodes n little-endian fp16 values, widening exactly. Unlike
+// f32s it also polices values: the store writer only ever emits finite
+// fp16, so Inf/NaN bits here are corruption (or a crafted store) and
+// get a hard error rather than a poisoned kernel input.
+func (d *dec) halves(n int) ([]float32, error) {
+	b := d.take(2 * n)
+	if b == nil {
+		return nil, nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		h := uint16(b[2*i]) | uint16(b[2*i+1])<<8
+		if !half.IsFinite(h) {
+			return nil, fmt.Errorf("graph: non-finite fp16 bits %#04x at element %d", h, i)
+		}
+		out[i] = half.FromBits(h)
+	}
+	return out, nil
 }

@@ -248,6 +248,13 @@ func FuzzReadDataset(f *testing.F) {
 	}
 	f.Add(v1.Bytes())
 	f.Add(v1.Bytes()[:len(v1.Bytes())/2])
+	// The fp16 encoding decodes through its own section path; seed it too.
+	var f16 bytes.Buffer
+	if err := f16TestDataset(f).Write(&f16); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(f16.Bytes())
+	f.Add(f16.Bytes()[:len(f16.Bytes())/2])
 	// A header declaring a huge payload over a tiny body.
 	huge := append([]byte(nil), valid[:storeHeaderLen]...)
 	binary.LittleEndian.PutUint64(huge[16:], 1<<60)

@@ -11,7 +11,7 @@ import (
 // section id (and can therefore carry it through a rewrite). The shard
 // sections are position-independent, so UpgradeStore preserves their
 // raw bytes rather than re-encoding them.
-func knownSection(id uint32) bool { return id >= secSpec && id <= secManifest }
+func knownSection(id uint32) bool { return id >= secSpec && id <= secFeaturesF16 }
 
 // UpgradeStore rewrites the .argograph store at src in format v2 at dst
 // (dst may equal src; the write is atomic either way). Both payload
@@ -38,7 +38,10 @@ func UpgradeStore(src, dst string) (srcVersion int, identical bool, err error) {
 			lz.Close()
 			return 0, false, fmt.Errorf("graph: %s: has a %s section this version cannot re-encode; upgrading would drop it", src, SectionName(e.ID))
 		}
-		if e.ID > secSplits {
+		// features16 is not an extra: like the fp32 features section it is
+		// re-encoded from the decoded dataset (the canonical writer places
+		// it itself).
+		if e.ID > secSplits && e.ID != secFeaturesF16 {
 			raw, err := lz.sectionBytes(e.ID)
 			if err != nil {
 				lz.Close()
@@ -108,12 +111,72 @@ func UpgradeStore(src, dst string) (srcVersion int, identical bool, err error) {
 	return srcVersion, identical, nil
 }
 
+// ConvertStore rewrites the dataset store at src with its features
+// re-encoded in the requested dtype at dst (dst may equal src; the
+// write is atomic either way). Narrowing to fp16 rounds each feature
+// value once to nearest-even and refuses non-finite or out-of-range
+// inputs (see Dataset.ConvertFeatures); widening to fp32 is exact.
+// Converting a store already in the requested dtype reproduces it
+// byte-for-byte (identical == true) — fp16 decode is exact and the v2
+// writer is canonical — so the operation is idempotent. Shard stores
+// are refused: the set-wide dtype lives in the manifest, so convert the
+// base store and re-shard instead.
+func ConvertStore(src, dst string, dt FeatDtype) (from FeatDtype, identical bool, err error) {
+	lz, err := OpenLazy(src)
+	if err != nil {
+		return 0, false, err
+	}
+	if lz.kind != storeKindDataset {
+		lz.Close()
+		return 0, false, fmt.Errorf("graph: %s: bare-CSR store has no features to convert", src)
+	}
+	for _, e := range lz.sections {
+		if e.ID == secShardMap || e.ID == secManifest {
+			lz.Close()
+			return 0, false, fmt.Errorf("graph: %s: is a shard store; convert the base store and re-shard", src)
+		}
+		if !knownSection(e.ID) {
+			lz.Close()
+			return 0, false, fmt.Errorf("graph: %s: has a %s section this version cannot re-encode", src, SectionName(e.ID))
+		}
+	}
+	from = lz.FeatDtype()
+	srcRaw, err := os.ReadFile(src)
+	if err != nil {
+		lz.Close()
+		return 0, false, err
+	}
+	d, err := lz.Dataset()
+	closeErr := lz.Close()
+	if err != nil {
+		return 0, false, fmt.Errorf("graph: %s: %w", src, err)
+	}
+	if closeErr != nil {
+		return 0, false, closeErr
+	}
+	if err := d.ConvertFeatures(dt); err != nil {
+		return 0, false, fmt.Errorf("graph: %s: %w", src, err)
+	}
+	raw, err := encodeDatasetV2Extra(d, nil, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := saveAtomic(dst, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	}); err != nil {
+		return 0, false, err
+	}
+	return from, bytes.Equal(srcRaw, raw), nil
+}
+
 // StoreCheck summarises a fully verified store for tooling output.
 type StoreCheck struct {
-	Version  int
-	Kind     string
-	Stats    Stats
-	Sections []SectionInfo
+	Version   int
+	Kind      string
+	FeatDtype FeatDtype
+	Stats     Stats
+	Sections  []SectionInfo
 }
 
 // VerifyStore checks the .argograph store at path end to end, in
@@ -131,10 +194,11 @@ func VerifyStore(path string) (*StoreCheck, error) {
 	}
 	defer lz.Close()
 	check := &StoreCheck{
-		Version:  lz.Version(),
-		Kind:     lz.Kind(),
-		Stats:    lz.Stats(),
-		Sections: lz.Sections(),
+		Version:   lz.Version(),
+		Kind:      lz.Kind(),
+		FeatDtype: lz.FeatDtype(),
+		Stats:     lz.Stats(),
+		Sections:  lz.Sections(),
 	}
 	if err := lz.verifyAllSections(); err != nil {
 		return nil, fmt.Errorf("graph: %s: %w", path, err)

@@ -64,6 +64,15 @@ const (
 	secShardMap = 7 // binary local↔global node map of one shard (see ShardMap)
 	secManifest = 8 // ShardManifest as JSON, carried by the manifest shard only
 
+	// Half-precision features (PR 9). An fp16 store carries this section
+	// INSTEAD of secFeatures — same u64 rows, u64 cols prefix, payload of
+	// little-endian uint16 fp16 bits. The id is above the shard sections
+	// so the table's strictly-ascending invariant holds with extras
+	// present; old readers fail cleanly ("store has no features section")
+	// rather than misdecoding, and old stores (always fp32) read
+	// unchanged.
+	secFeaturesF16 = 9 // u64 rows, u64 cols, u16×(rows·cols) fp16 bits, row-major
+
 	sectionEntryLen = 32
 	// A v2 store has at most a handful of known sections; a table
 	// claiming more is corruption (future versions bump the format
@@ -107,6 +116,11 @@ type Stats struct {
 	// shard of a ShardSet; nil for ordinary stores, so their stats JSON
 	// (and therefore their bytes) are unchanged from pre-shard writers.
 	Shard *ShardStats `json:"shard,omitempty"`
+	// FeatDtype is the feature element encoding: "fp16", or empty for
+	// fp32, so pre-dtype stores' stats bytes are unchanged. The section
+	// table is authoritative (the dtype decides which features section
+	// exists); this copy makes the dtype visible to metadata-only readers.
+	FeatDtype string `json:"feat_dtype,omitempty"`
 }
 
 // ShardStats is the per-shard profile embedded in a shard store's stats
@@ -134,6 +148,7 @@ func ComputeStats(d *Dataset) Stats {
 		MaxDegree:  d.Graph.MaxDegree(),
 		AvgDegree:  d.Graph.AvgDegree(),
 		DegreeHist: degreeHist(d.Graph),
+		FeatDtype:  d.FeatDtype.statsName(),
 	}
 	return s
 }
@@ -189,6 +204,8 @@ func SectionName(id uint32) string {
 		return "shardmap"
 	case secManifest:
 		return "manifest"
+	case secFeaturesF16:
+		return "features16"
 	}
 	return fmt.Sprintf("unknown(%d)", id)
 }
@@ -250,6 +267,9 @@ func encodeDatasetV2Extra(d *Dataset, statsOverride *Stats, extras []section) ([
 	if statsOverride != nil {
 		st = *statsOverride
 	}
+	// Whatever the override says, the stats dtype must describe the
+	// features section actually written below.
+	st.FeatDtype = d.FeatDtype.statsName()
 	statsJSON, err := json.Marshal(st)
 	if err != nil {
 		return nil, fmt.Errorf("graph: encoding stats: %w", err)
@@ -259,7 +279,11 @@ func encodeDatasetV2Extra(d *Dataset, statsOverride *Stats, extras []section) ([
 	var feats enc
 	feats.u64(uint64(d.Features.Rows))
 	feats.u64(uint64(d.Features.Cols))
-	feats.f32s(d.Features.Data)
+	if d.FeatDtype == DtypeF16 {
+		feats.halves(d.Features.Data)
+	} else {
+		feats.f32s(d.Features.Data)
+	}
 	var labels enc
 	labels.u64(uint64(len(d.Labels)))
 	labels.i32s(d.Labels)
@@ -272,17 +296,26 @@ func encodeDatasetV2Extra(d *Dataset, statsOverride *Stats, extras []section) ([
 		{secSpec, specJSON},
 		{secStats, statsJSON},
 		{secCSR, csr.buf},
-		{secFeatures, feats.buf},
 		{secLabels, labels.buf},
 		{secSplits, splits.buf},
 	}
+	if d.FeatDtype != DtypeF16 {
+		// fp32: the features payload keeps its historical slot between csr
+		// and labels, so pre-dtype stores are reproduced byte-for-byte.
+		sections = append(sections[:3], append([]section{{secFeatures, feats.buf}}, sections[3:]...)...)
+	}
 	last := uint32(secSplits)
 	for _, e := range extras {
-		if e.id <= last {
-			return nil, fmt.Errorf("graph: extra section id %d not above %d (ids must stay strictly ascending)", e.id, last)
+		if e.id <= last || e.id >= secFeaturesF16 {
+			return nil, fmt.Errorf("graph: extra section id %d outside (%d,%d) (ids must stay strictly ascending)", e.id, secSplits, secFeaturesF16)
 		}
 		last = e.id
 		sections = append(sections, e)
+	}
+	if d.FeatDtype == DtypeF16 {
+		// The fp16 features section id sits above the shard extras, so it
+		// goes last to keep the table strictly ascending.
+		sections = append(sections, section{secFeaturesF16, feats.buf})
 	}
 	return encodeSections(storeKindDataset, sections), nil
 }
@@ -448,6 +481,31 @@ func decodeFeaturesSection(b []byte) (*tensor.Matrix, error) {
 	}
 	if d.off != len(d.buf) {
 		return nil, fmt.Errorf("graph: %d trailing bytes in features section", len(d.buf)-d.off)
+	}
+	return tensor.FromSlice(rows, cols, data), nil
+}
+
+// decodeFeaturesF16Section decodes a features16 section into a float32
+// matrix. Decoding is exact (fp16 widens losslessly); non-finite bit
+// patterns are rejected so a corrupted or crafted store cannot inject
+// Inf/NaN into the kernels.
+func decodeFeaturesF16Section(b []byte) (*tensor.Matrix, error) {
+	d := dec{buf: b}
+	rows := int(d.u64())
+	cols := int(d.u64())
+	if d.err == nil && (rows < 0 || cols < 0 || rows > math.MaxInt32 || cols > math.MaxInt32 ||
+		(cols > 0 && rows > d.remaining()/2/cols)) {
+		return nil, fmt.Errorf("graph: feature block %dx%d exceeds section", rows, cols)
+	}
+	data, err := d.halves(rows * cols)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("graph: %d trailing bytes in features16 section", len(d.buf)-d.off)
 	}
 	return tensor.FromSlice(rows, cols, data), nil
 }

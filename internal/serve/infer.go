@@ -33,6 +33,10 @@ func (s lazySource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
 
 func (s lazySource) Dim() int { return s.lz.FeatureDim() }
 
+// FeatDtype reports the store's feature dtype (see FeatureSourceDtype);
+// an fp16 store gets packed cache storage for ~2× rows per byte budget.
+func (s lazySource) FeatDtype() graph.FeatDtype { return s.lz.FeatDtype() }
+
 // NewLazyFeatureSource serves rows from an opened store.
 func NewLazyFeatureSource(lz *graph.LazyDataset) FeatureSource { return lazySource{lz} }
 
@@ -44,11 +48,16 @@ type shardSource struct {
 	ss   *graph.ShardSet
 	maps []*graph.ShardMap
 	dim  int
+	dt   graph.FeatDtype
 }
 
 // NewShardFeatureSource builds a row source over a shard set.
 func NewShardFeatureSource(ss *graph.ShardSet) (FeatureSource, error) {
-	src := &shardSource{ss: ss, dim: ss.Manifest.FeatDim, maps: make([]*graph.ShardMap, ss.K())}
+	dt, err := graph.ParseFeatDtype(ss.Manifest.FeatDtype)
+	if err != nil {
+		return nil, err
+	}
+	src := &shardSource{ss: ss, dim: ss.Manifest.FeatDim, dt: dt, maps: make([]*graph.ShardMap, ss.K())}
 	for i := 0; i < ss.K(); i++ {
 		sm, err := ss.ShardMap(i)
 		if err != nil {
@@ -77,13 +86,34 @@ func (s *shardSource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
 
 func (s *shardSource) Dim() int { return s.dim }
 
+// FeatDtype reports the shard set's manifest-wide feature dtype.
+func (s *shardSource) FeatDtype() graph.FeatDtype { return s.dt }
+
 // matrixSource serves rows from a materialised feature matrix — the
 // reference path the bit-match gates compare against, and the fast path
 // for stores small enough to hold in memory.
-type matrixSource struct{ m *tensor.Matrix }
+type matrixSource struct {
+	m  *tensor.Matrix
+	dt graph.FeatDtype
+}
 
 // NewMatrixFeatureSource serves rows from an in-memory matrix.
-func NewMatrixFeatureSource(m *tensor.Matrix) FeatureSource { return matrixSource{m} }
+func NewMatrixFeatureSource(m *tensor.Matrix) FeatureSource {
+	return matrixSource{m: m, dt: graph.DtypeF32}
+}
+
+// NewMatrixFeatureSourceDtype is NewMatrixFeatureSource with an
+// explicit storage dtype tag — for matrices materialised from (or
+// converted to) an fp16 store, whose values are fp16-exact, so the
+// serving cache may pack them. Tagging a matrix that holds non-fp16
+// values as fp16 would make cached reads lossy; callers own that
+// invariant (Dataset.ConvertFeatures establishes it).
+func NewMatrixFeatureSourceDtype(m *tensor.Matrix, dt graph.FeatDtype) FeatureSource {
+	return matrixSource{m: m, dt: dt}
+}
+
+// FeatDtype reports the tagged storage dtype.
+func (s matrixSource) FeatDtype() graph.FeatDtype { return s.dt }
 
 func (s matrixSource) Row(id graph.NodeID, dst []float32) ([]float32, error) {
 	if id < 0 || int(id) >= s.m.Rows {

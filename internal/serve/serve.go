@@ -102,15 +102,23 @@ func New(src Source, model *nn.GNN, opts ...Option) (*Server, error) {
 		if cfg.hubPin > 0 {
 			pinned = graph.TopDegree(src.Graph, graph.HubCount(src.Graph.NumNodes, cfg.hubPin))
 		}
+		// An fp16 source's rows are fp16-exact, so the cache stores them
+		// packed (two values per float32 element): the policy budgets
+		// against the packed row size and the same byte budget holds
+		// roughly twice the rows, losslessly.
+		dt := FeatureSourceDtype(src.Features)
 		var err error
 		cache, err = NewCache(cfg.policy, CacheConfig{
 			CapBytes:   cfg.cacheBytes,
-			RowBytes:   int64(src.Features.Dim()) * 4,
+			RowBytes:   StoredRowBytes(src.Features.Dim(), dt),
 			Pinned:     pinned,
 			TailPolicy: cfg.tailPolicy,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if dt == graph.DtypeF16 {
+			cache = newHalfCache(cache, src.Features.Dim())
 		}
 	}
 	inf, err := NewInferencer(InferencerOptions{

@@ -1,0 +1,188 @@
+package half
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refBits is an independent rounds-to-nearest-even reference built on
+// float64 arithmetic instead of bit tricks, so the two implementations
+// can only agree by both being right.
+func refBits(f float32) uint16 {
+	v := float64(f)
+	sign := uint16(0)
+	if math.Signbit(v) {
+		sign = 0x8000
+	}
+	v = math.Abs(v)
+	switch {
+	case math.IsNaN(v):
+		return sign | 0x7e00
+	case v >= 65520: // nearest-even tips [65520, +Inf) over to Inf
+		return sign | 0x7c00
+	case v < math.Ldexp(1, -14): // subnormal band: units of 2^-24
+		m := math.RoundToEven(math.Ldexp(v, 24))
+		if m >= 1024 { // rounded up into the smallest normal
+			return sign | 0x0400
+		}
+		return sign | uint16(m)
+	default:
+		exp := int(math.Floor(math.Log2(v)))
+		// Floating-point log2 can land one off at power-of-two
+		// boundaries; renormalise.
+		for math.Ldexp(1, exp+1) <= v {
+			exp++
+		}
+		for math.Ldexp(1, exp) > v {
+			exp--
+		}
+		m := math.RoundToEven(math.Ldexp(v, 10-exp)) // in [1024, 2048]
+		if m >= 2048 {
+			m = 1024
+			exp++
+		}
+		if exp > 15 {
+			return sign | 0x7c00
+		}
+		return sign | uint16(exp+15)<<10 | uint16(int(m)-1024)
+	}
+}
+
+// Every fp16 bit pattern must decode to float32 and re-encode to
+// itself: FromBits is exact and Bits is its left inverse. NaNs compare
+// on NaN-ness, not payload.
+func TestExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		bits := uint16(h)
+		f := FromBits(bits)
+		back := Bits(f)
+		if bits&0x7fff > infBits { // NaN: payload may canonicalise
+			if !math.IsNaN(float64(f)) || back&0x7fff <= infBits {
+				t.Fatalf("NaN pattern %#04x: decode %v re-encode %#04x", bits, f, back)
+			}
+			continue
+		}
+		if back != bits {
+			t.Fatalf("pattern %#04x: decode %v re-encode %#04x", bits, f, back)
+		}
+	}
+}
+
+// FromBits must produce the exact real value: cross-check normals and
+// subnormals against float64 ldexp arithmetic.
+func TestFromBitsExact(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		bits := uint16(h)
+		mag := bits & 0x7fff
+		if mag >= infBits {
+			continue
+		}
+		var want float64
+		if mag < 0x0400 {
+			want = math.Ldexp(float64(mag), -24)
+		} else {
+			exp := int(mag>>10) - 15
+			want = math.Ldexp(1+float64(mag&0x3ff)/1024, exp)
+		}
+		if bits&0x8000 != 0 {
+			want = -want
+		}
+		if got := float64(FromBits(bits)); got != want {
+			t.Fatalf("pattern %#04x: FromBits %v, want %v", bits, got, want)
+		}
+	}
+}
+
+// Bits must agree with the float64 reference on deterministic random
+// floats across the full exponent range, plus the boundary cases that
+// break naive implementations.
+func TestBitsMatchesReference(t *testing.T) {
+	check := func(f float32) {
+		t.Helper()
+		got, want := Bits(f), refBits(f)
+		if got&0x7fff > infBits && want&0x7fff > infBits {
+			return // both NaN
+		}
+		if got != want {
+			t.Fatalf("Bits(%v) = %#04x, want %#04x", f, got, want)
+		}
+	}
+	for _, f := range []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1, 0.5, 2, 65504, -65504,
+		65505, 65519, 65520, 65536, -65536, 1e38, float32(math.Inf(1)),
+		float32(math.Inf(-1)), float32(math.NaN()),
+		6.1035156e-05,  // smallest fp16 normal
+		6.0975552e-05,  // just below it
+		5.9604645e-08,  // smallest fp16 subnormal
+		2.9802322e-08,  // half the smallest subnormal: ties to zero
+		2.9802326e-08,  // just above: rounds to the smallest subnormal
+		1e-45,          // smallest float32 subnormal: flushes to zero
+		1.0009765625,   // 1 + 2^-10: exactly representable
+		1.00048828125,  // 1 + 2^-11: tie, rounds to even (1.0)
+		1.000488281255, // just above the tie: rounds up
+	} {
+		check(f)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		// Exponents beyond fp16's range exercise overflow and flush.
+		f := float32(math.Ldexp(rng.Float64()*2-1, rng.Intn(40)-20))
+		check(f)
+	}
+}
+
+// The round trip through Round must be within half a ULP of the source
+// (nearest rounding), and idempotent: rounded values are fp16-exact.
+func TestRoundErrorBoundAndIdempotence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		f := float32(rng.NormFloat64() * 4) // the synthesis value range
+		r := Round(f)
+		// ULP of r in fp16: 2^(exp-10) for normals, 2^-24 in the
+		// subnormal band.
+		exp := math.Ilogb(float64(r))
+		if r == 0 || exp < -14 {
+			exp = -14
+		}
+		ulp := math.Ldexp(1, exp-10)
+		if diff := math.Abs(float64(f) - float64(r)); diff > ulp/2 {
+			t.Fatalf("Round(%v) = %v: error %g exceeds half ULP %g", f, r, diff, ulp/2)
+		}
+		if again := Round(r); again != r {
+			t.Fatalf("Round not idempotent: %v → %v", r, again)
+		}
+	}
+}
+
+func TestSliceAndByteKernels(t *testing.T) {
+	src := []float32{0, 1, -2.5, 65504, 3.14159, -6.1e-5, 1e-7}
+	hs := make([]uint16, len(src))
+	Encode(hs, src)
+	dec := make([]float32, len(src))
+	Decode(dec, hs)
+	bytes := make([]byte, 2*len(src))
+	EncodeBytes(bytes, src)
+	decB := make([]float32, len(src))
+	DecodeBytes(decB, bytes)
+	for i := range src {
+		if dec[i] != Round(src[i]) || decB[i] != dec[i] {
+			t.Fatalf("index %d: slice %v, bytes %v, want %v", i, dec[i], decB[i], Round(src[i]))
+		}
+		if bytes[2*i] != byte(hs[i]) || bytes[2*i+1] != byte(hs[i]>>8) {
+			t.Fatalf("index %d: byte encoding is not little-endian uint16", i)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	cases := map[uint16]bool{
+		0x0000: true, 0x8000: true, 0x7bff: true, 0xfbff: true,
+		0x7c00: false, 0xfc00: false, 0x7e00: false, 0x7c01: false,
+	}
+	for bits, want := range cases {
+		if got := IsFinite(bits); got != want {
+			t.Fatalf("IsFinite(%#04x) = %v, want %v", bits, got, want)
+		}
+	}
+}
