@@ -38,6 +38,7 @@ import (
 
 	"argo/internal/core"
 	"argo/internal/ddp"
+	"argo/internal/engine"
 	"argo/internal/graph"
 	"argo/internal/nn"
 	"argo/internal/platform"
@@ -305,6 +306,17 @@ type GNNTrainerOptions struct {
 	// workers (by default the exchange for batch i+1 overlaps batch i's
 	// compute). Performance knob only; losses are bit-identical.
 	NoOverlap bool
+	// SamplingRegime selects how a sharded run draws mini-batches:
+	// "" or "exact" samples the assembled global topology (losses
+	// bit-identical to single-store), "local" samples partition-locally
+	// (each replica within its shards' owned + 1-hop halo rows — the
+	// Cluster-GCN regime, trading a bounded accuracy perturbation for a
+	// large cut in halo traffic). "local" requires Shards and
+	// LocalFanouts.
+	SamplingRegime string
+	// LocalFanouts configures the partition-local samplers' layered
+	// fanouts (typically the exact sampler's fanouts).
+	LocalFanouts []int
 }
 
 // HaloStats is the halo-exchange traffic summary of a sharded run.
@@ -328,17 +340,23 @@ type GNNTrainer struct {
 
 // NewGNNTrainer builds a GNNTrainer.
 func NewGNNTrainer(opts GNNTrainerOptions) (*GNNTrainer, error) {
+	regime, err := engine.ParseRegime(opts.SamplingRegime)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.NewTrainer(core.TrainerOptions{
-		Dataset:   opts.Dataset,
-		Sampler:   opts.Sampler,
-		Model:     opts.Model,
-		BatchSize: opts.BatchSize,
-		LR:        opts.LR,
-		Seed:      opts.Seed,
-		Binder:    opts.Binder,
-		Shards:    opts.Shards,
-		Transport: opts.Transport,
-		NoOverlap: opts.NoOverlap,
+		Dataset:        opts.Dataset,
+		Sampler:        opts.Sampler,
+		Model:          opts.Model,
+		BatchSize:      opts.BatchSize,
+		LR:             opts.LR,
+		Seed:           opts.Seed,
+		Binder:         opts.Binder,
+		Shards:         opts.Shards,
+		Transport:      opts.Transport,
+		NoOverlap:      opts.NoOverlap,
+		SamplingRegime: regime,
+		LocalFanouts:   opts.LocalFanouts,
 	})
 	if err != nil {
 		return nil, err
@@ -360,6 +378,13 @@ func (t *GNNTrainer) LossHistory() []float64 { return t.inner.LossHistory() }
 // HaloStats reports the accumulated halo-exchange traffic of a sharded
 // run; zero for single-store runs.
 func (t *GNNTrainer) HaloStats() HaloStats { return t.inner.HaloStats() }
+
+// SnapshotHaloStats returns the halo traffic accumulated since the
+// previous snapshot call and advances the snapshot mark, without
+// disturbing the cumulative HaloStats view. Calling it once per epoch
+// yields per-epoch traffic curves that stay correct across auto-tuner
+// re-launches.
+func (t *GNNTrainer) SnapshotHaloStats() HaloStats { return t.inner.SnapshotHaloStats() }
 
 // ExchangeStats reports the whole-run exchange traffic of a sharded run
 // (totals + deterministic per-peer matrix, accumulated across tuner

@@ -106,6 +106,7 @@ var benchSamplers = []benchSampler{
 	{"shadow", platsim.Shadow, platsim.GCN, "ShaDow-GCN"},
 	{"saint", platsim.Saint, platsim.SAGE, "SAINT-SAGE"},
 	{"cluster", platsim.ClusterK, platsim.GCN, "Cluster-GCN"},
+	{"partition", platsim.PartLocal, platsim.SAGE, "Partition-SAGE"},
 }
 
 // parseSamplers expands the -sampler flag into concrete pairings.
@@ -186,6 +187,10 @@ func main() {
 	serveZipfS := flag.Float64("zipf-s", 2.0, "serving benchmark: skew of the zipf query stream (must be > 1)")
 	featDtypeFlag := flag.String("feat-dtype", "fp32",
 		"-exchange/-serve workload feature dtype: fp32 or fp16 (fp16 converts each workload once up front, making the store dtype drive the wire format and cache packing)")
+	regimesFlag := flag.Bool("regimes", false,
+		"run the sampling-regime study: train each workload's shard set under the exact and partition-local regimes "+
+			"and merge per-epoch loss + halo-traffic curves (and the wire-reduction / loss-delta headline) into -json")
+	regimeEpochs := flag.Int("regime-epochs", 4, "regime study: training epochs per regime")
 	kernelsFlag := flag.Bool("kernels", false,
 		"run the kernel benchmark (degree-aware chunk balance + pooled forward timings on a synthetic power-law graph) and merge a \"kernels\" section into the JSON artifact")
 	kernelWorkers := flag.Int("kernel-workers", 8,
@@ -234,6 +239,14 @@ func main() {
 			JSONPath:    *jsonPath,
 			Stable:      *stable,
 		}, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *regimesFlag {
+		// Like -serve, merges into the strategy artifact.
+		if err := benchRegimes(*datasetFlag, *transport, *regimeEpochs, *jsonPath, *stable, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "argo-bench: %v\n", err)
 			os.Exit(1)
 		}

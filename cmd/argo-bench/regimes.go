@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"argo/internal/datasets"
+	"argo/internal/engine"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+)
+
+// regimeEpoch is one epoch of one regime run: the training loss plus
+// the halo traffic that epoch moved (per-epoch deltas via the
+// exchange's Snapshot seam, not cumulative counters).
+type regimeEpoch struct {
+	Epoch       int     `json:"epoch"`
+	Loss        float64 `json:"loss"`
+	LocalRows   int64   `json:"local_rows"`
+	RemoteRows  int64   `json:"remote_rows"`
+	RemoteBytes int64   `json:"remote_bytes"` // logical float32 bytes
+	WireBytes   int64   `json:"wire_bytes"`   // framed bytes on the wire
+	Messages    int64   `json:"messages"`
+	GradRows    int64   `json:"grad_rows"`
+	// GradNodes counts owned rows that received routed input-feature
+	// gradient contributions (local regime only).
+	GradNodes int64   `json:"grad_nodes,omitempty"`
+	Seconds   float64 `json:"seconds"` // zeroed under -stable
+}
+
+// regimeRun is one sampling regime's curve on one workload.
+type regimeRun struct {
+	Regime         string        `json:"regime"` // exact or local
+	FinalLoss      float64       `json:"final_loss"`
+	TotalWireBytes int64         `json:"total_wire_bytes"`
+	TotalRemote    int64         `json:"total_remote_rows"`
+	TotalMessages  int64         `json:"total_messages"`
+	Epochs         []regimeEpoch `json:"epochs"`
+}
+
+// regimeBench is the accuracy/communication study on one workload: the
+// exact and partition-local regimes trained side by side on the same
+// shard set, with the headline trade-off precomputed for CI gates.
+type regimeBench struct {
+	Dataset    string  `json:"dataset"`
+	Shards     int     `json:"shards"`
+	Replicas   int     `json:"replicas"`
+	EpochCount int     `json:"epoch_count"`
+	EdgeCut    int64   `json:"edge_cut_arcs"`
+	Transport  string  `json:"transport"`
+	FeatDtype  string  `json:"feat_dtype"`
+	BatchSize  int     `json:"batch_size"`
+	Fanouts    []int   `json:"fanouts"`
+	ExactAcc   float64 `json:"exact_val_accuracy"`
+	LocalAcc   float64 `json:"local_val_accuracy"`
+	// WireReduction = exact total wire bytes / local total wire bytes
+	// (>1 means the local regime moved fewer bytes). FinalLossDelta =
+	// |local final loss − exact final loss|. The regime-smoke CI job
+	// gates on both.
+	WireReduction  float64     `json:"wire_reduction"`
+	FinalLossDelta float64     `json:"final_loss_delta"`
+	Runs           []regimeRun `json:"runs"`
+}
+
+// runRegime trains one regime on a fresh shard mapping of ss and
+// returns its per-epoch curve (losses from the engine, traffic from
+// per-epoch exchange snapshots) plus the validation accuracy.
+func runRegime(ss *graph.ShardSet, regime engine.SamplingRegime, transport string, replicas, batch, epochs int, fanouts []int, seed int64, stable bool) (regimeRun, float64, error) {
+	run := regimeRun{Regime: regime.String()}
+	skel, err := ss.Skeleton()
+	if err != nil {
+		return run, 0, err
+	}
+	sources, ex, err := engine.NewShardSourcesOpts(ss, replicas, engine.ShardSourceOptions{Transport: transport})
+	if err != nil {
+		return run, 0, err
+	}
+	defer ex.Close()
+	cfg := engine.Config{
+		Dataset: skel,
+		Sampler: sampler.NewNeighbor(skel.Graph, fanouts),
+		Model: nn.ModelSpec{
+			Kind: nn.KindSAGE,
+			Dims: []int{ss.Spec().ScaledF0, ss.Spec().ScaledHidden, skel.NumClasses},
+			Seed: seed,
+		},
+		BatchSize: batch,
+		LR:        0.01,
+		NumProcs:  replicas,
+		// One sampling worker keeps the gather order — and with it the
+		// local regime's first-touch message counts — deterministic, so
+		// the artifact is byte-stable under -stable.
+		SampleWorkers:  1,
+		TrainWorkers:   1,
+		Seed:           seed,
+		Sources:        sources,
+		SamplingRegime: regime,
+	}
+	if regime == engine.RegimeLocal {
+		setup, err := engine.NewPartitionSetup(ss, skel, replicas, fanouts)
+		if err != nil {
+			return run, 0, err
+		}
+		cfg.LocalSamplers = setup.Samplers
+		cfg.LocalTargets = setup.Targets
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return run, 0, err
+	}
+	for ep := 0; ep < epochs; ep++ {
+		start := time.Now()
+		res, err := eng.RunEpoch(ep)
+		if err != nil {
+			return run, 0, fmt.Errorf("%s epoch %d: %w", regime, ep, err)
+		}
+		delta := ex.Snapshot()
+		row := regimeEpoch{
+			Epoch:       ep,
+			Loss:        res.MeanLoss,
+			LocalRows:   delta.LocalRows,
+			RemoteRows:  delta.RemoteRows,
+			RemoteBytes: delta.RemoteBytes,
+			WireBytes:   delta.WireBytes,
+			Messages:    delta.Messages,
+			GradRows:    delta.GradRows,
+			GradNodes:   res.GradNodes,
+			Seconds:     time.Since(start).Seconds(),
+		}
+		if stable {
+			row.Seconds = 0
+		}
+		run.Epochs = append(run.Epochs, row)
+		run.FinalLoss = res.MeanLoss
+		run.TotalWireBytes += delta.WireBytes
+		run.TotalRemote += delta.RemoteRows
+		run.TotalMessages += delta.Messages
+	}
+	acc, err := eng.EvaluateErr(skel.ValIdx)
+	if err != nil {
+		return run, 0, err
+	}
+	return run, acc, nil
+}
+
+// benchRegimes runs the exact vs partition-local accuracy and
+// communication study on each workload's shard set and merges a
+// "regimes" section into jsonPath (BENCH_argo.json).
+func benchRegimes(datasetFlag, transport string, epochs int, jsonPath string, stable bool, w *os.File) error {
+	if epochs < 1 {
+		return fmt.Errorf("-regime-epochs %d", epochs)
+	}
+	var names []string
+	if datasetFlag == "all" {
+		names = datasets.PaperNames()
+	} else {
+		for _, n := range strings.Split(datasetFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-dataset selected no workloads")
+	}
+	const (
+		seed     = 7
+		shards   = 4
+		replicas = 2
+		batch    = 64
+	)
+	fanouts := []int{10, 5}
+	var rows []regimeBench
+	for _, name := range names {
+		ds, err := datasets.Resolve(name, seed)
+		if err != nil {
+			return err
+		}
+		ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: shards, Seed: seed})
+		if err != nil {
+			return err
+		}
+		row := regimeBench{
+			Dataset:    name,
+			Shards:     shards,
+			Replicas:   replicas,
+			EpochCount: epochs,
+			EdgeCut:    ss.Manifest.TotalCutArcs(),
+			Transport:  transport,
+			FeatDtype:  ss.Manifest.FeatDtype,
+			BatchSize:  batch,
+			Fanouts:    fanouts,
+		}
+		for _, regime := range []engine.SamplingRegime{engine.RegimeExact, engine.RegimeLocal} {
+			run, acc, err := runRegime(ss, regime, transport, replicas, batch, epochs, fanouts, seed, stable)
+			if err != nil {
+				ss.Close()
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if regime == engine.RegimeExact {
+				row.ExactAcc = acc
+			} else {
+				row.LocalAcc = acc
+			}
+			row.Runs = append(row.Runs, run)
+		}
+		ss.Close()
+		exact, local := row.Runs[0], row.Runs[1]
+		if local.TotalWireBytes > 0 {
+			row.WireReduction = float64(exact.TotalWireBytes) / float64(local.TotalWireBytes)
+		}
+		row.FinalLossDelta = math.Abs(local.FinalLoss - exact.FinalLoss)
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-16s exact: %d wire bytes, final loss %.4f | local: %d wire bytes, final loss %.4f → %.1f× less wire, loss delta %.4f\n",
+			name, exact.TotalWireBytes, exact.FinalLoss, local.TotalWireBytes, local.FinalLoss,
+			row.WireReduction, row.FinalLossDelta)
+	}
+
+	// Merge: keep whatever sections are already in the artifact.
+	var out mergedBench
+	if raw, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", jsonPath, err)
+		}
+	}
+	out.Regimes = rows
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "regime study (%d workloads, %d epochs, %s transport) merged into %s\n", len(rows), epochs, transport, jsonPath)
+	return nil
+}

@@ -63,6 +63,7 @@ type mergedBench struct {
 	Datasets   []datasetBench `json:"datasets"`
 	Serve      []serveBench   `json:"serve,omitempty"`
 	Kernels    *kernelsBench  `json:"kernels,omitempty"`
+	Regimes    []regimeBench  `json:"regimes,omitempty"`
 }
 
 // serveBenchConfig carries the -serve flag surface into benchServe —

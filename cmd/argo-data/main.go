@@ -471,6 +471,28 @@ func runConvert(args []string) error {
 	if dst == "" {
 		dst = src
 	}
+	// Measure the precision loss BEFORE converting: the default dst is
+	// src (in-place rewrite), and after conversion every value is
+	// fp16-exact so the report would read all zeros.
+	var report *graph.F16RoundingStats
+	if dt == graph.DtypeF16 {
+		lz, err := graph.OpenLazy(src)
+		if err != nil {
+			return err
+		}
+		if lz.Kind() == "dataset" && lz.FeatDtype() == graph.DtypeF32 {
+			ds, err := lz.Dataset()
+			if err != nil {
+				lz.Close()
+				return err
+			}
+			st := graph.F16RoundingReport(ds.Features)
+			report = &st
+		}
+		if err := lz.Close(); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
 	from, identical, err := graph.ConvertStore(src, dst, dt)
 	if err != nil {
@@ -488,6 +510,10 @@ func runConvert(args []string) error {
 		fmt.Printf("%s: already %s; re-encoded canonically to %s in %s\n", src, dt, dst, elapsed)
 	default:
 		fmt.Printf("%s: converted %s → %s at %s (%d bytes) in %s\n", src, from, dt, dst, dstBytes, elapsed)
+	}
+	if report != nil {
+		fmt.Printf("  fp16 rounding over %d×%d: max |err| %.3g (column %d), mean |err| %.3g\n",
+			report.Rows, report.Cols, report.OverallMax, report.WorstCol, report.MeanAbs)
 	}
 	return nil
 }

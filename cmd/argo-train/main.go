@@ -123,6 +123,9 @@ func main() {
 	lossPath := flag.String("loss-json", "", "write the per-epoch mean training loss history (plus exchange traffic for sharded runs) as JSON to this file")
 	transport := flag.String("transport", "inproc",
 		"halo-exchange transport for -shards runs: inproc (direct calls) or tcp (batched messages over loopback sockets)")
+	sampling := flag.String("sampling", "exact",
+		"sampling regime for -shards runs: exact (global batches, losses bit-identical to single-store) or "+
+			"local (partition-local: each replica samples within its shards' owned + 1-hop halo rows, cutting halo traffic)")
 	overlap := flag.Bool("overlap", true,
 		"overlap the halo exchange with sampling: prefetch batch i+1's features while batch i computes (losses are identical either way)")
 	ckptPath := flag.String("save-checkpoint", "",
@@ -135,6 +138,15 @@ func main() {
 	}
 	if *transport != "inproc" && *transport != "tcp" {
 		log.Fatalf("argo-train: unknown -transport %q (inproc, tcp)", *transport)
+	}
+	if *sampling != "exact" && *sampling != "local" {
+		log.Fatalf("argo-train: unknown -sampling %q (exact, local)", *sampling)
+	}
+	if *sampling == "local" && !*shards {
+		log.Fatalf("argo-train: -sampling local needs -shards (partition-local sampling is defined per shard)")
+	}
+	if *sampling == "local" && *samplerName != "neighbor" {
+		log.Fatalf("argo-train: -sampling local supports the neighbor sampler only (got %q)", *samplerName)
 	}
 	var (
 		ds       *graph.Dataset
@@ -189,9 +201,10 @@ func main() {
 
 	var smp sampler.Sampler
 	layers := 3
+	fanouts := []int{15, 10, 5}
 	switch *samplerName {
 	case "neighbor":
-		smp = sampler.NewNeighbor(ds.Graph, []int{15, 10, 5})
+		smp = sampler.NewNeighbor(ds.Graph, fanouts)
 	case "shadow":
 		smp = sampler.NewShaDow(ds.Graph, []int{10, 5}, layers)
 	default:
@@ -205,17 +218,23 @@ func main() {
 	}
 	dims := []int{ds.Spec.ScaledF0, ds.Spec.ScaledHidden, ds.Spec.ScaledHidden, ds.NumClasses}
 
-	trainer, err := argo.NewGNNTrainer(argo.GNNTrainerOptions{
-		Dataset:   ds,
-		Sampler:   smp,
-		Model:     nn.ModelSpec{Kind: kind, Dims: dims, Seed: *seed},
-		BatchSize: *batch,
-		LR:        *lr,
-		Seed:      *seed,
-		Shards:    shardSet,
-		Transport: *transport,
-		NoOverlap: !*overlap,
-	})
+	topts := argo.GNNTrainerOptions{
+		Dataset:        ds,
+		Sampler:        smp,
+		Model:          nn.ModelSpec{Kind: kind, Dims: dims, Seed: *seed},
+		BatchSize:      *batch,
+		LR:             *lr,
+		Seed:           *seed,
+		Shards:         shardSet,
+		Transport:      *transport,
+		NoOverlap:      !*overlap,
+		SamplingRegime: *sampling,
+	}
+	if *sampling == "local" {
+		topts.LocalFanouts = fanouts
+		fmt.Printf("sampling regime: partition-local (frontiers bounded to owned + 1-hop halo rows; fanouts %v)\n", fanouts)
+	}
+	trainer, err := argo.NewGNNTrainer(topts)
 	if err != nil {
 		log.Fatalf("argo-train: %v", err)
 	}

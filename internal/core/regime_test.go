@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"argo/internal/ddp"
+	"argo/internal/engine"
+	"argo/internal/graph"
+	"argo/internal/nn"
+	"argo/internal/sampler"
+	"argo/internal/search"
+)
+
+// newLocalRegimeTrainer builds a sharded trainer under the partition-
+// local sampling regime.
+func newLocalRegimeTrainer(t *testing.T, ds *graph.Dataset, transport string) *Trainer {
+	t.Helper()
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+	skel, err := ss.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(TrainerOptions{
+		Dataset: skel, Sampler: sampler.NewNeighbor(skel.Graph, []int{4, 3}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{8, 6, 3}, Seed: 5},
+		BatchSize: 24, LR: 0.01, Seed: 3, Shards: ss, Transport: transport,
+		SamplingRegime: engine.RegimeLocal, LocalFanouts: []int{4, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// TestSnapshotHaloStatsAcrossRelaunches: per-interval snapshots sum to
+// the whole-run total even when a process-count change retires the
+// exchange mid-run, and the cumulative HaloStats view keeps
+// accumulating untouched — the regression gate for the snapshot seam.
+func TestSnapshotHaloStatsAcrossRelaunches(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	tr := newShardedTrainer(t, ds, "")
+	ctx := context.Background()
+
+	var snapSum ddp.HaloStats
+	var prevTotal ddp.HaloStats
+	for _, cfg := range []search.Config{
+		{Procs: 1, SampleCores: 1, TrainCores: 1},
+		{Procs: 2, SampleCores: 1, TrainCores: 1}, // re-launch: exchange retired + rebuilt
+		{Procs: 1, SampleCores: 1, TrainCores: 2}, // and again
+	} {
+		if _, err := tr.Step(ctx, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+		delta := tr.SnapshotHaloStats()
+		if delta.LocalRows == 0 {
+			t.Fatalf("phase %+v: empty snapshot delta", cfg)
+		}
+		snapSum.Add(delta)
+		total := tr.HaloStats()
+		if total.LocalRows < prevTotal.LocalRows || total.RemoteRows < prevTotal.RemoteRows {
+			t.Fatalf("cumulative totals went backwards: %+v then %+v", prevTotal, total)
+		}
+		prevTotal = total
+		if snapSum != total {
+			t.Fatalf("snapshot deltas sum to %+v, cumulative total is %+v", snapSum, total)
+		}
+	}
+	// An idle interval snapshots as zero without disturbing the total.
+	if idle := tr.SnapshotHaloStats(); idle != (ddp.HaloStats{}) {
+		t.Fatalf("idle snapshot non-zero: %+v", idle)
+	}
+	if tr.HaloStats() != prevTotal {
+		t.Fatal("idle snapshot disturbed the cumulative total")
+	}
+}
+
+// TestLocalRegimeTrainerAcrossRelaunches: the partition samplers and
+// owned-target sets are rebuilt with the exchange on every process-
+// count change, training converges, and the run is reproducible
+// bit-for-bit across transports.
+func TestLocalRegimeTrainerAcrossRelaunches(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	run := func(transport string) ([]float64, ddp.HaloStats) {
+		tr := newLocalRegimeTrainer(t, ds, transport)
+		ctx := context.Background()
+		for _, cfg := range []search.Config{
+			{Procs: 1, SampleCores: 1, TrainCores: 1},
+			{Procs: 2, SampleCores: 1, TrainCores: 1},
+			{Procs: 1, SampleCores: 1, TrainCores: 2},
+		} {
+			if _, err := tr.Step(ctx, cfg, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.LossHistory(), tr.HaloStats()
+	}
+	inLoss, inStats := run("")
+	tcpLoss, tcpStats := run("tcp")
+	if len(inLoss) != 6 {
+		t.Fatalf("expected 6 epochs, got %d", len(inLoss))
+	}
+	for i := range inLoss {
+		if inLoss[i] != tcpLoss[i] {
+			t.Fatalf("epoch %d: local-regime loss diverged across transports: %v vs %v", i, inLoss[i], tcpLoss[i])
+		}
+	}
+	if inStats.GradRows == 0 {
+		t.Fatal("local-regime trainer routed no halo gradients in the n=2 phase")
+	}
+	if inStats.GradRows != tcpStats.GradRows || inStats.RemoteRows != tcpStats.RemoteRows {
+		t.Fatalf("logical traffic diverged across transports: %+v vs %+v", inStats, tcpStats)
+	}
+}
+
+// TestLocalRegimeOptionValidation: the regime refuses to start without
+// its inputs.
+func TestLocalRegimeOptionValidation(t *testing.T) {
+	ds := shardedCoreDataset(t)
+	base := TrainerOptions{
+		Dataset: ds, Sampler: sampler.NewNeighbor(ds.Graph, []int{4, 3}),
+		Model:     nn.ModelSpec{Kind: nn.KindSAGE, Dims: []int{8, 6, 3}, Seed: 5},
+		BatchSize: 24, LR: 0.01, Seed: 3,
+	}
+	opts := base
+	opts.SamplingRegime = engine.RegimeLocal
+	if _, err := NewTrainer(opts); err == nil {
+		t.Fatal("local regime without a shard set accepted")
+	}
+	ss, err := graph.ShardSetFromDataset(ds, graph.ShardOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	opts.Shards = ss
+	if _, err := NewTrainer(opts); err == nil {
+		t.Fatal("local regime without fanouts accepted")
+	}
+	opts.LocalFanouts = []int{4, 3}
+	if _, err := NewTrainer(opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,16 @@ type TrainerOptions struct {
 	// NoOverlap disables the exchange/sampling overlap (performance
 	// knob only; losses are bit-identical either way).
 	NoOverlap bool
+	// SamplingRegime selects exact (default) or partition-local
+	// sampling for sharded runs. The local regime needs Shards and
+	// LocalFanouts; the per-replica partition samplers and owned
+	// target sets are rebuilt alongside the exchange whenever the
+	// auto-tuner changes the process count.
+	SamplingRegime engine.SamplingRegime
+	// LocalFanouts configures the partition samplers' layered fanouts
+	// (local regime only; typically the exact sampler's fanouts so the
+	// regimes compare like for like).
+	LocalFanouts []int
 }
 
 // Trainer runs mini-batch GNN training under changing ARGO
@@ -72,6 +82,7 @@ type Trainer struct {
 	exchange  *ddp.HaloExchange
 	haloTotal ddp.HaloStats
 	peerTotal map[[2]int]ddp.PeerCounts
+	lastSnap  ddp.HaloStats // whole-run total at the previous SnapshotHaloStats
 }
 
 // NewTrainer validates opts and returns an idle trainer.
@@ -81,6 +92,14 @@ func NewTrainer(opts TrainerOptions) (*Trainer, error) {
 	}
 	if opts.BatchSize < 1 {
 		return nil, fmt.Errorf("core: batch size %d", opts.BatchSize)
+	}
+	if opts.SamplingRegime == engine.RegimeLocal {
+		if opts.Shards == nil {
+			return nil, fmt.Errorf("core: the local sampling regime needs a shard set")
+		}
+		if len(opts.LocalFanouts) == 0 {
+			return nil, fmt.Errorf("core: the local sampling regime needs LocalFanouts")
+		}
 	}
 	if opts.Binder == nil {
 		spec := platform.Spec{Name: "virtual", Sockets: 1, CoresPerSocket: 8 * 20}
@@ -140,6 +159,20 @@ func (tr *Trainer) HaloStats() ddp.HaloStats {
 		total.Add(tr.exchange.TotalStats())
 	}
 	return total
+}
+
+// SnapshotHaloStats returns the halo traffic accumulated since the
+// previous SnapshotHaloStats call (or since construction) and advances
+// the snapshot mark. It is built on the whole-run totals, so interval
+// curves (e.g. per-epoch traffic for the regime study) stay correct
+// across auto-tuner re-launches that retire and rebuild the exchange;
+// HaloStats keeps reporting the untouched cumulative view.
+func (tr *Trainer) SnapshotHaloStats() ddp.HaloStats {
+	total := tr.HaloStats()
+	delta := total
+	delta.Sub(tr.lastSnap)
+	tr.lastSnap = total
+	return delta
 }
 
 // mergePeerTraffic folds an exchange's directed traffic edges into a
@@ -266,26 +299,42 @@ func (tr *Trainer) bind(cfg search.Config) error {
 		}
 		return err
 	}
+	var setup *engine.PartitionSetup
 	if tr.opts.Shards != nil {
 		sources, exchange, err = engine.NewShardSourcesOpts(tr.opts.Shards, cfg.Procs,
 			engine.ShardSourceOptions{Transport: tr.opts.Transport})
 		if err != nil {
 			return fail(err)
 		}
+		// Local regime: the partition samplers and owned target sets
+		// follow the same shard→replica mapping as the sources, so they
+		// are rebuilt together on every process-count change.
+		if tr.opts.SamplingRegime == engine.RegimeLocal {
+			setup, err = engine.NewPartitionSetup(tr.opts.Shards, tr.opts.Dataset, cfg.Procs, tr.opts.LocalFanouts)
+			if err != nil {
+				return fail(err)
+			}
+		}
 	}
-	eng, err := engine.New(engine.Config{
-		Dataset:       tr.opts.Dataset,
-		Sampler:       tr.opts.Sampler,
-		Model:         tr.opts.Model,
-		BatchSize:     tr.opts.BatchSize,
-		LR:            tr.opts.LR,
-		NumProcs:      cfg.Procs,
-		SampleWorkers: cfg.SampleCores,
-		TrainWorkers:  cfg.TrainCores,
-		Seed:          tr.opts.Seed,
-		Sources:       sources,
-		NoOverlap:     tr.opts.NoOverlap,
-	})
+	ecfg := engine.Config{
+		Dataset:        tr.opts.Dataset,
+		Sampler:        tr.opts.Sampler,
+		Model:          tr.opts.Model,
+		BatchSize:      tr.opts.BatchSize,
+		LR:             tr.opts.LR,
+		NumProcs:       cfg.Procs,
+		SampleWorkers:  cfg.SampleCores,
+		TrainWorkers:   cfg.TrainCores,
+		Seed:           tr.opts.Seed,
+		Sources:        sources,
+		NoOverlap:      tr.opts.NoOverlap,
+		SamplingRegime: tr.opts.SamplingRegime,
+	}
+	if setup != nil {
+		ecfg.LocalSamplers = setup.Samplers
+		ecfg.LocalTargets = setup.Targets
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		return fail(err)
 	}

@@ -40,9 +40,10 @@ type HaloExchange struct {
 	plan       *ExchangePlan
 	wireDtype  graph.FeatDtype
 
-	mu    sync.Mutex
-	stats []HaloStats
-	peers [][]PeerCounts // [from][to] remote traffic matrix
+	mu       sync.Mutex
+	stats    []HaloStats
+	peers    [][]PeerCounts // [from][to] remote traffic matrix
+	lastSnap HaloStats      // cumulative total at the previous Snapshot call
 
 	gmu sync.Mutex
 	// grads[owner][from] holds the partial sums contributed by replica
@@ -76,6 +77,17 @@ func (s *HaloStats) Add(other HaloStats) {
 	s.WireBytes += other.WireBytes
 	s.Messages += other.Messages
 	s.GradRows += other.GradRows
+}
+
+// Sub subtracts other from s. Used to turn two cumulative readings into
+// an interval delta (e.g. per-epoch curves).
+func (s *HaloStats) Sub(other HaloStats) {
+	s.LocalRows -= other.LocalRows
+	s.RemoteRows -= other.RemoteRows
+	s.RemoteBytes -= other.RemoteBytes
+	s.WireBytes -= other.WireBytes
+	s.Messages -= other.Messages
+	s.GradRows -= other.GradRows
 }
 
 // PeerCounts is the traffic volume of one directed (from, to) replica
@@ -638,6 +650,24 @@ func (h *HaloExchange) TotalStats() HaloStats {
 		total.Add(s)
 	}
 	return total
+}
+
+// Snapshot returns the traffic accumulated since the previous Snapshot
+// call (or since construction, for the first call) and advances the
+// snapshot mark. The cumulative counters reported by Stats, TotalStats,
+// and Summary are untouched, so run totals and interval curves (e.g.
+// per-epoch traffic) can be read from the same exchange.
+func (h *HaloExchange) Snapshot() HaloStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total HaloStats
+	for _, s := range h.stats {
+		total.Add(s)
+	}
+	delta := total
+	delta.Sub(h.lastSnap)
+	h.lastSnap = total
+	return delta
 }
 
 // PeerTraffic returns the non-zero edges of the directed traffic

@@ -47,6 +47,19 @@ type Config struct {
 	// values are pure functions of the batch's ids, so losses are
 	// bit-identical either way.
 	NoOverlap bool
+	// SamplingRegime selects exact (default: global batches split n
+	// ways, bit-identical to single-store) or partition-local sampling.
+	// The local regime requires Sources plus the per-replica Samplers
+	// and Targets from NewPartitionSetup; Sampler stays the exact
+	// sampler and keeps serving Evaluate, so accuracy numbers compare
+	// apples-to-apples across regimes.
+	SamplingRegime SamplingRegime
+	// LocalSamplers[r] is replica r's partition-bounded sampler (local
+	// regime only; len must equal NumProcs).
+	LocalSamplers []sampler.Sampler
+	// LocalTargets[r] is replica r's owned train targets (local regime
+	// only; len must equal NumProcs).
+	LocalTargets [][]graph.NodeID
 }
 
 // EpochResult summarises one training epoch.
@@ -57,6 +70,15 @@ type EpochResult struct {
 	Stats     sampler.Stats // accumulated sampling workload
 	NumIters  int
 	BatchSeen int // total target nodes processed
+	// GradNodes and GradAbsSum summarise the local regime's reverse
+	// gradient path: the number of owned rows that received routed
+	// input-feature gradient contributions this epoch, and the L1 mass
+	// of those contributions. Both are deterministic for a fixed
+	// schedule (ids ascending, contributors reduced in ascending
+	// replica order), so they double as a cross-transport parity
+	// digest. Zero under the exact regime.
+	GradNodes  int64
+	GradAbsSum float64
 }
 
 // replica is one "GNN process": its own model, optimizer, worker pools,
@@ -66,6 +88,10 @@ type replica struct {
 	opt       *nn.Adam
 	trainPool *tensor.Pool
 	source    DataSource
+	// router, when non-nil (local regime over shard sources), receives
+	// the input-feature gradient of every batch so halo rows' credit
+	// reaches their owning replica.
+	router GradientRouter
 
 	// per-iteration scratch, written by the replica's goroutine only
 	lastLoss  float64
@@ -112,6 +138,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Sources == nil && (cfg.Dataset.Features == nil || cfg.Dataset.Labels == nil) {
 		return nil, fmt.Errorf("engine: dataset has no features/labels and no replica sources were provided")
 	}
+	if cfg.SamplingRegime == RegimeLocal {
+		if cfg.Sources == nil {
+			return nil, fmt.Errorf("engine: the local sampling regime needs per-replica shard sources")
+		}
+		if len(cfg.LocalSamplers) != cfg.NumProcs || len(cfg.LocalTargets) != cfg.NumProcs {
+			return nil, fmt.Errorf("engine: local regime wants %d samplers and target sets, got %d and %d",
+				cfg.NumProcs, len(cfg.LocalSamplers), len(cfg.LocalTargets))
+		}
+	}
 	cfg.AdjustBatch = true
 	e := &Engine{cfg: cfg}
 	degrees := nn.Degrees(cfg.Dataset.Graph)
@@ -127,12 +162,25 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Sources != nil {
 			src = cfg.Sources[r]
 		}
-		e.replicas = append(e.replicas, &replica{
+		rep := &replica{
 			model:     m,
 			opt:       nn.NewAdam(cfg.LR),
 			trainPool: tensor.NewPool(cfg.TrainWorkers),
 			source:    src,
-		})
+		}
+		if cfg.SamplingRegime == RegimeLocal {
+			if _, ok := src.(GradientRouter); !ok {
+				return nil, fmt.Errorf("engine: local regime replica %d source has no gradient reverse path", r)
+			}
+			// The caching wrapper makes the regime's locality pay:
+			// partition-bounded batches hit a static working set, so
+			// features cross the wire once per run and gradients once
+			// per epoch.
+			ls := newLocalSource(src)
+			rep.source = ls
+			rep.router = ls
+		}
+		e.replicas = append(e.replicas, rep)
 	}
 	return e, nil
 }
@@ -161,14 +209,39 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 	n := e.cfg.NumProcs
 	ds := e.cfg.Dataset
 
-	globalBatches := epochBatches(ds.TrainIdx, e.cfg.BatchSize, seedFor(e.cfg.Seed, epoch, -1))
-
 	// Build per-replica job lists. With AdjustBatch each iteration is one
 	// global batch split n ways; without it (ablation) each replica
-	// consumes full-size batches from its own partition.
+	// consumes full-size batches from its own partition. The local
+	// regime shuffles each replica's owned targets independently into
+	// B/n-sized shares, preserving the effective global batch ≈ B.
 	perReplicaJobs := make([][]prefetchJob, n)
 	var numIters int
-	if e.cfg.AdjustBatch {
+	if e.cfg.SamplingRegime == RegimeLocal {
+		share := e.cfg.BatchSize / n
+		if share < 1 {
+			share = 1
+		}
+		for r := 0; r < n; r++ {
+			batches := epochBatches(e.cfg.LocalTargets[r], share, seedFor(e.cfg.Seed, epoch, -2-r))
+			for it, b := range batches {
+				perReplicaJobs[r] = append(perReplicaJobs[r], prefetchJob{
+					index: it, seed: seedFor(e.cfg.Seed, epoch, it*n+r), targets: b,
+				})
+			}
+			if len(batches) > numIters {
+				numIters = len(batches)
+			}
+		}
+		// Shards own unequal train counts; pad the short replicas with
+		// empty jobs (weight 0 in the all-reduce) to keep the barrier
+		// square.
+		for r := 0; r < n; r++ {
+			for len(perReplicaJobs[r]) < numIters {
+				perReplicaJobs[r] = append(perReplicaJobs[r], prefetchJob{index: len(perReplicaJobs[r])})
+			}
+		}
+	} else if e.cfg.AdjustBatch {
+		globalBatches := epochBatches(ds.TrainIdx, e.cfg.BatchSize, seedFor(e.cfg.Seed, epoch, -1))
 		numIters = len(globalBatches)
 		for it, gb := range globalBatches {
 			shares := splitShares(gb, n)
@@ -221,7 +294,11 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 				return x0, labels, nil
 			}
 		}
-		prefetchers[r] = newFetchingPrefetcher(e.cfg.Sampler, perReplicaJobs[r], e.cfg.SampleWorkers, fetch)
+		samp := e.cfg.Sampler
+		if e.cfg.SamplingRegime == RegimeLocal {
+			samp = e.cfg.LocalSamplers[r]
+		}
+		prefetchers[r] = newFetchingPrefetcher(samp, perReplicaJobs[r], e.cfg.SampleWorkers, fetch)
 	}
 	// Closing on every exit path matters: an epoch aborted by a replica
 	// (or remote-fetch) error must not strand workers parked on the
@@ -276,6 +353,44 @@ func (e *Engine) RunEpoch(epoch int) (EpochResult, error) {
 			e.BatchHook(e.iterCount)
 		}
 	}
+	// Local regime: the epoch's accumulated input-feature gradients are
+	// flushed to their owning replicas — every replica flushes before
+	// any drains, so each drain sees the complete epoch — and drained
+	// in a fixed order (replica ascending, ids ascending, contributors
+	// ascending), making the digest deterministic across transports.
+	// Features are frozen inputs here, so the collected sums serve as
+	// an accounting/parity digest; a trainable embedding layer would
+	// apply them to its owned rows at this point.
+	if e.cfg.SamplingRegime == RegimeLocal {
+		for r := 0; r < n; r++ {
+			if ls, ok := e.replicas[r].source.(*localSource); ok {
+				if err := ls.FlushGradients(); err != nil {
+					return res, fmt.Errorf("engine: replica %d gradient flush: %w", r, err)
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			c, ok := e.replicas[r].source.(GradientCollector)
+			if !ok {
+				continue
+			}
+			ids, sums, err := c.CollectGradients()
+			if err != nil {
+				return res, fmt.Errorf("engine: replica %d gradient drain: %w", r, err)
+			}
+			res.GradNodes += int64(len(ids))
+			if sums != nil {
+				for i := range ids {
+					for _, x := range sums.Row(i) {
+						if x < 0 {
+							x = -x
+						}
+						res.GradAbsSum += float64(x)
+					}
+				}
+			}
+		}
+	}
 	if lossCount > 0 {
 		res.MeanLoss = lossSum / float64(lossCount)
 	}
@@ -323,8 +438,20 @@ func (rep *replica) step(bd batchData) {
 	bufs := rep.model.Buffers()
 	loss, dLogits := nn.SoftmaxCrossEntropyPooled(bufs, logits, labels)
 	dX := rep.model.Backward(rep.trainPool, dLogits)
-	// The input gradient is unused here and the gathered features and
-	// logit gradient are consumed; recycling all three through the
+	// Local regime: hand the input-feature gradient to the router. All
+	// input ids are passed; the local-regime source accumulates the
+	// rows across the epoch and flushes them to their owners in one
+	// batched exchange at epoch end, so boundary rows' credit reaches
+	// the replica that owns them at a per-epoch (not per-batch) wire
+	// cost.
+	if rep.router != nil {
+		if err := rep.router.ScatterGradients(mb.InputNodes(), dX); err != nil {
+			rep.lastErr = err
+			return
+		}
+	}
+	// The input gradient is otherwise unused and the gathered features
+	// and logit gradient are consumed; recycling all three through the
 	// replica's buffer pool keeps the steady-state step free of
 	// per-batch matrix allocations (DataSource matrices are
 	// caller-owned by contract).

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"argo/internal/graph"
+	"argo/internal/tensor"
+)
+
+// localSource is the data source of one local-regime replica. The
+// partition-local sampler bounds every frontier to the replica's owned
+// + 1-hop halo rows, so the working set is small and static — the
+// Cluster-GCN observation — and the source exploits that in both
+// directions:
+//
+//   - Features are fetched through the inner (exchange-backed) source
+//     on first touch and cached for the rest of the run. Training
+//     features never change, so each remote halo row crosses the wire
+//     at most once per run instead of once per batch.
+//   - Input-feature gradients are accumulated locally per row and
+//     flushed through the inner GradientRouter once per epoch
+//     (FlushGradients), so the backhaul is one row per touched node
+//     per epoch instead of one per batch.
+//
+// Gathered values are pure functions of the ids, so losses are
+// bit-identical to an uncached source. Row/byte traffic counts are
+// deterministic too (each distinct row moves exactly once); with more
+// than one sampling worker the *message* counts may vary run to run,
+// since which batch first touches a row depends on scheduling.
+type localSource struct {
+	inner DataSource
+
+	mu    sync.Mutex
+	dim   int
+	cache map[graph.NodeID][]float32
+
+	gmu  sync.Mutex
+	gdim int
+	gsum map[graph.NodeID][]float32
+}
+
+func newLocalSource(inner DataSource) *localSource {
+	return &localSource{
+		inner: inner,
+		cache: make(map[graph.NodeID][]float32),
+		gsum:  make(map[graph.NodeID][]float32),
+	}
+}
+
+func (s *localSource) GatherFeatures(ids []graph.NodeID) (*tensor.Matrix, error) {
+	if len(ids) == 0 {
+		return s.inner.GatherFeatures(ids)
+	}
+	// The lock covers the miss fetch: concurrent sampling workers
+	// serialise here, so each row is fetched exactly once. Local-regime
+	// batches are partition-bounded, so the cache is bounded by the
+	// replica's owned + halo set (plus any evaluation rows).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var missing []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, v := range ids {
+		if _, ok := s.cache[v]; !ok && !seen[v] {
+			seen[v] = true
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) > 0 {
+		m, err := s.inner.GatherFeatures(missing)
+		if err != nil {
+			return nil, err
+		}
+		s.dim = m.Cols
+		for i, v := range missing {
+			row := make([]float32, m.Cols)
+			copy(row, m.Row(i))
+			s.cache[v] = row
+		}
+	}
+	out := tensor.New(len(ids), s.dim)
+	for i, v := range ids {
+		copy(out.Row(i), s.cache[v])
+	}
+	return out, nil
+}
+
+func (s *localSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
+	// Local-regime targets are owned rows, served shard-locally by the
+	// inner source; nothing to cache.
+	return s.inner.TargetLabels(ids)
+}
+
+// ScatterGradients implements GradientRouter by accumulating into the
+// epoch buffer; nothing crosses the wire until FlushGradients.
+func (s *localSource) ScatterGradients(ids []graph.NodeID, grads *tensor.Matrix) error {
+	if grads.Rows != len(ids) {
+		return fmt.Errorf("engine: %d gradient rows for %d ids", grads.Rows, len(ids))
+	}
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	s.gdim = grads.Cols
+	for i, v := range ids {
+		row := s.gsum[v]
+		if row == nil {
+			row = make([]float32, grads.Cols)
+			s.gsum[v] = row
+		}
+		for j, x := range grads.Row(i) {
+			row[j] += x
+		}
+	}
+	return nil
+}
+
+// FlushGradients routes the accumulated per-row sums to their owners
+// through the inner GradientRouter (one batched exchange, ids
+// ascending) and resets the buffer. Each replica's step runs on a
+// single goroutine in batch order, so the accumulated floats — and
+// therefore the flushed rows — are deterministic.
+func (s *localSource) FlushGradients() error {
+	s.gmu.Lock()
+	if len(s.gsum) == 0 {
+		s.gmu.Unlock()
+		return nil
+	}
+	ids := make([]graph.NodeID, 0, len(s.gsum))
+	for v := range s.gsum {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m := tensor.New(len(ids), s.gdim)
+	for i, v := range ids {
+		copy(m.Row(i), s.gsum[v])
+	}
+	s.gsum = make(map[graph.NodeID][]float32)
+	s.gmu.Unlock()
+	rt, ok := s.inner.(GradientRouter)
+	if !ok {
+		return fmt.Errorf("engine: local source's inner source has no gradient reverse path")
+	}
+	return rt.ScatterGradients(ids, m)
+}
+
+// CollectGradients implements GradientCollector by delegating to the
+// inner source's drain.
+func (s *localSource) CollectGradients() ([]graph.NodeID, *tensor.Matrix, error) {
+	c, ok := s.inner.(GradientCollector)
+	if !ok {
+		return nil, nil, nil
+	}
+	return c.CollectGradients()
+}

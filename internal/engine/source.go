@@ -57,6 +57,18 @@ type GradientRouter interface {
 	ScatterGradients(ids []graph.NodeID, grads *tensor.Matrix) error
 }
 
+// GradientCollector drains the gradient contributions other replicas
+// routed to this replica's owned rows since the previous drain. The
+// returned ids are ascending and the per-row sums are reduced in
+// ascending contributor order, so the drain is deterministic for a
+// deterministic schedule regardless of transport or message arrival
+// order.
+type GradientCollector interface {
+	// CollectGradients returns (ids, len(ids)×featDim sums, error);
+	// (nil, nil, nil) when nothing accumulated.
+	CollectGradients() ([]graph.NodeID, *tensor.Matrix, error)
+}
+
 // shardSource is one replica's view of a sharded run: every lookup goes
 // through the exchange, which serves owned rows locally and foreign
 // rows from their owning replica in batched per-peer messages.
@@ -75,6 +87,10 @@ func (s shardSource) TargetLabels(ids []graph.NodeID) ([]int32, error) {
 
 func (s shardSource) ScatterGradients(ids []graph.NodeID, grads *tensor.Matrix) error {
 	return s.ex.ScatterGradients(s.replica, ids, grads)
+}
+
+func (s shardSource) CollectGradients() ([]graph.NodeID, *tensor.Matrix, error) {
+	return s.ex.CollectGradients(s.replica)
 }
 
 // replicaShard is one shard materialised into its owning replica's

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"argo/internal/tensor"
 	"argo/internal/tensor/half"
 )
 
@@ -84,6 +85,59 @@ func (d *Dataset) ConvertFeatures(t FeatDtype) error {
 	}
 	d.FeatDtype = t
 	return nil
+}
+
+// F16RoundingStats quantifies the one-time precision loss of narrowing
+// a feature matrix to fp16: per-column max and mean absolute rounding
+// error, plus the worst column overall. Computed on the fp32 values
+// BEFORE conversion (afterwards every value is fp16-exact and the
+// report would be all zeros).
+type F16RoundingStats struct {
+	Rows, Cols int
+	MaxErr     []float64 // per-column max |fp16(v) − v|
+	MeanErr    []float64 // per-column mean |fp16(v) − v|
+	WorstCol   int       // column with the largest max error
+	WorstErr   float64   // that column's max error
+	OverallMax float64   // == WorstErr; kept for report symmetry
+	MeanAbs    float64   // mean |fp16(v) − v| over the whole matrix
+}
+
+// F16RoundingReport measures what ConvertFeatures(DtypeF16) would do to
+// each column of m. Rounding uses the same nearest-even Round as the
+// conversion itself, so the reported errors are exactly the deltas the
+// converted store will carry.
+func F16RoundingReport(m *tensor.Matrix) F16RoundingStats {
+	st := F16RoundingStats{
+		Rows:    m.Rows,
+		Cols:    m.Cols,
+		MaxErr:  make([]float64, m.Cols),
+		MeanErr: make([]float64, m.Cols),
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return st
+	}
+	var total float64
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			e := math.Abs(float64(half.Round(v)) - float64(v))
+			st.MeanErr[j] += e
+			total += e
+			if e > st.MaxErr[j] {
+				st.MaxErr[j] = e
+			}
+		}
+	}
+	for j := range st.MeanErr {
+		st.MeanErr[j] /= float64(m.Rows)
+		if st.MaxErr[j] > st.WorstErr {
+			st.WorstErr = st.MaxErr[j]
+			st.WorstCol = j
+		}
+	}
+	st.OverallMax = st.WorstErr
+	st.MeanAbs = total / float64(m.Rows*m.Cols)
+	return st
 }
 
 // validateF16Exact checks the fp16 dataset invariant: every feature

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"argo/internal/tensor"
 	"argo/internal/tensor/half"
 )
 
@@ -314,5 +315,42 @@ func TestF16ValidateRejectsNonFinite(t *testing.T) {
 	ds.Features.Row(5)[2] = 1.0 + 1e-4 // not fp16-exact
 	if err := ds.Validate(); err == nil {
 		t.Fatal("fp16 dataset with a non-fp16-exact value passed validation")
+	}
+}
+
+// The rounding report on a hand-built matrix: fp16 has 10 fraction
+// bits, so 1+2⁻¹¹ sits exactly halfway between 1 and 1+2⁻¹⁰ and
+// nearest-even rounds it to 1 — error exactly 2⁻¹¹ — while powers of
+// two and small integers are exact.
+func TestF16RoundingReportKnownMatrix(t *testing.T) {
+	const half11 = 1.0 / 2048 // 2⁻¹¹
+	m := tensor.New(2, 3)
+	copy(m.Row(0), []float32{1 + half11, 2, 0.5})
+	copy(m.Row(1), []float32{1, 3, 0.25})
+	st := F16RoundingReport(m)
+	if st.Rows != 2 || st.Cols != 3 {
+		t.Fatalf("shape %dx%d", st.Rows, st.Cols)
+	}
+	wantMax := []float64{half11, 0, 0}
+	wantMean := []float64{half11 / 2, 0, 0}
+	for j := range wantMax {
+		if st.MaxErr[j] != wantMax[j] {
+			t.Fatalf("col %d max err %g, want %g", j, st.MaxErr[j], wantMax[j])
+		}
+		if st.MeanErr[j] != wantMean[j] {
+			t.Fatalf("col %d mean err %g, want %g", j, st.MeanErr[j], wantMean[j])
+		}
+	}
+	if st.WorstCol != 0 || st.WorstErr != half11 || st.OverallMax != half11 {
+		t.Fatalf("worst col %d err %g", st.WorstCol, st.WorstErr)
+	}
+	if want := half11 / 6; st.MeanAbs != want {
+		t.Fatalf("matrix mean err %g, want %g", st.MeanAbs, want)
+	}
+	// The reported deltas are exactly what conversion applies: after
+	// ConvertFeatures the same matrix reports all zeros.
+	ds := f16TestDataset(t)
+	if zero := F16RoundingReport(ds.Features); zero.OverallMax != 0 || zero.MeanAbs != 0 {
+		t.Fatalf("converted matrix still reports rounding error %g", zero.OverallMax)
 	}
 }

@@ -33,6 +33,11 @@ const (
 	Shadow   SamplerKind = "shadow"
 	Saint    SamplerKind = "saint"
 	ClusterK SamplerKind = "cluster"
+	// PartLocal is partition-local neighbor sampling (the engine's
+	// "local" regime): the frontier recursion is bounded to one
+	// replica's owned + 1-hop halo nodes, shrinking the collision pool
+	// and therefore the distinct-node workload per iteration.
+	PartLocal SamplerKind = "partition"
 
 	SAGE ModelKind = "sage"
 	GCN  ModelKind = "gcn"
@@ -113,6 +118,9 @@ var DGL = Profile{
 		// dominates.
 		Saint:    0.45,
 		ClusterK: 0.35,
+		// Same per-edge loop as Neighbor plus a branch-predictable
+		// membership test; parallelises just as well.
+		PartLocal: 0.08,
 	},
 	TrainSatCores:    6,
 	TrainMachCores:   24,
@@ -136,10 +144,11 @@ var PyG = Profile{
 	ShadowEdgeCost:     700e-9,
 	SampleBytesPerEdge: 32,
 	SamplerSerial: map[SamplerKind]float64{
-		Neighbor: 0.12,
-		Shadow:   0.85,
-		Saint:    0.65,
-		ClusterK: 0.55,
+		Neighbor:  0.12,
+		Shadow:    0.85,
+		Saint:     0.65,
+		ClusterK:  0.55,
+		PartLocal: 0.12,
 	},
 	TrainSatCores:    10,
 	TrainMachCores:   16,

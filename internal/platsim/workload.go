@@ -42,6 +42,12 @@ var (
 	clusterCount  = 64 // offline greedy partition of the full graph
 	clusterLayers = 3
 	clusterIntra  = 0.6 // fraction of a member's degree that stays intra-cluster
+
+	// Partition-local regime shape (engine's -sampling local): each
+	// replica samples inside one of partitionCount shards plus a 1-hop
+	// halo fringe that adds partitionHaloFrac of the shard's size.
+	partitionCount    = 8
+	partitionHaloFrac = 0.15
 )
 
 // collisionPoolFrac scales the shared-neighbour collision pool: sampled
@@ -57,7 +63,7 @@ func (sc Scenario) batch() int {
 	if sc.BatchSize > 0 {
 		return sc.BatchSize
 	}
-	if sc.Sampler != Neighbor {
+	if sc.Sampler != Neighbor && sc.Sampler != PartLocal {
 		return DefaultShadowBatch
 	}
 	return DefaultNeighborBatch
@@ -156,8 +162,16 @@ func (sc Scenario) PerProcessWork(n int) IterWork {
 	}
 
 	switch sc.Sampler {
-	case Neighbor:
-		// Frontier recursion, targets outward.
+	case Neighbor, PartLocal:
+		// Frontier recursion, targets outward. The partition-local
+		// regime runs the same recursion but every frontier is bounded
+		// to one shard plus its 1-hop halo fringe, so collisions are
+		// drawn from that much smaller pool — more reuse per batch and
+		// a smaller distinct-node gather, the regime's bandwidth win.
+		if sc.Sampler == PartLocal {
+			partNodes := float64(d.Vertices) / float64(partitionCount) * (1 + partitionHaloFrac)
+			pool = math.Min(pool, partNodes)
+		}
 		frontier := b
 		frontiers := []float64{b}
 		var layerEdges []float64

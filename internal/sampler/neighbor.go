@@ -55,7 +55,7 @@ func (ns *Neighbor) Sample(rng *rand.Rand, targets []graph.NodeID) *MiniBatch {
 	// Build from the output layer inwards: block index L-1 down to 0.
 	for li := len(ns.Fanouts) - 1; li >= 0; li-- {
 		fanout := ns.Fanouts[len(ns.Fanouts)-1-li]
-		b := buildBlock(ns.Graph, dst, fanout, ns.Dedup, rng)
+		b := buildBlock(ns.Graph, dst, fanout, ns.Dedup, rng, sampleNeighbors)
 		mb.Blocks[li] = b
 		mb.Stats.LayerEdges[li] = int64(b.NumEdges())
 		mb.Stats.SampledEdges += int64(b.NumEdges())
@@ -65,11 +65,17 @@ func (ns *Neighbor) Sample(rng *rand.Rand, targets []graph.NodeID) *MiniBatch {
 	return mb
 }
 
+// pickFunc draws up to fanout neighbours of v into scratch (capacity ≥
+// fanout). Implementations must be deterministic functions of (v, rng
+// state) so the produced blocks depend only on the job seed.
+type pickFunc func(g *graph.CSR, v graph.NodeID, fanout int, scratch []graph.NodeID, rng *rand.Rand) []graph.NodeID
+
 // buildBlock samples up to fanout distinct neighbours for every dst node
-// and compacts the result into a Block. With dedup enabled, source nodes
-// shared between destinations are stored once (the reuse the paper's
-// Fig. 5 illustrates); without it every occurrence is materialised.
-func buildBlock(g *graph.CSR, dst []graph.NodeID, fanout int, dedup bool, rng *rand.Rand) Block {
+// (via pick) and compacts the result into a Block. With dedup enabled,
+// source nodes shared between destinations are stored once (the reuse
+// the paper's Fig. 5 illustrates); without it every occurrence is
+// materialised.
+func buildBlock(g *graph.CSR, dst []graph.NodeID, fanout int, dedup bool, rng *rand.Rand, pick pickFunc) Block {
 	b := Block{NumDst: len(dst)}
 	b.SrcNodes = make([]graph.NodeID, len(dst), len(dst)+len(dst)*fanout/2)
 	copy(b.SrcNodes, dst)
@@ -85,7 +91,7 @@ func buildBlock(g *graph.CSR, dst []graph.NodeID, fanout int, dedup bool, rng *r
 	scratch := make([]graph.NodeID, fanout)
 	b.Col = make([]int32, 0, len(dst)*fanout/2)
 	for i, v := range dst {
-		picked := sampleNeighbors(g, v, fanout, scratch, rng)
+		picked := pick(g, v, fanout, scratch, rng)
 		for _, u := range picked {
 			var idx int32
 			if dedup {
